@@ -1,0 +1,213 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+These have no direct table in the paper; they quantify decisions the paper
+makes in prose:
+
+* **selection-vs-delta conflict** (Section 2.2 footnote 3): "we currently
+  favor selection over delta-compression" -- measured by running the same
+  filter job against both index types.
+* **combined vs single-optimization indexes** (Section 2.2): "the current
+  analyzer always chooses the index program that exploits as many
+  optimizations as possible" -- selection+projection vs selection alone.
+* **B+Tree page size** sensitivity of index scans.
+* **purity knowledge base** (Section 3.2 / Benchmark 4): recall collapses
+  without library models, and the paper's proposed hash-table extension
+  changes the recorded miss reason.
+"""
+
+import os
+
+from repro.core.analyzer import EMPTY_KB, ManimalAnalyzer
+from repro.core.manimal import Manimal
+from repro.core.optimizer import catalog as cat
+from repro.mapreduce import JobConf, RecordFileInput, run_job
+from repro.mapreduce.api import Mapper, Reducer
+from repro.mapreduce.cost import PAPER_CLUSTER
+from repro.core.analyzer.purity import DEFAULT_KB
+from repro.storage.btree import BTree, BTreeBuilder
+from repro.storage.orderkeys import encode_key
+from repro.storage.serialization import FieldType, STRING_SCHEMA
+from repro.workloads.datagen import generate_webpages
+from repro.workloads.schemas import WEBPAGES
+from benchmarks.common import emit_report, format_table, simulate_seconds
+
+
+class RankFilterMapper(Mapper):
+    def __init__(self, threshold):
+        self.threshold = threshold
+
+    def map(self, key, value, ctx):
+        if value.rank > self.threshold:
+            ctx.emit(value.rank, 1)
+
+
+class PrefixFilterMapper(Mapper):
+    """Selection through a knowledge-base method (str.startswith)."""
+
+    def map(self, key, value, ctx):
+        if value.url.startswith("http://www.site1."):
+            ctx.emit(value.url, value.rank)
+
+
+class CountReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, sum(values))
+
+
+def _job(path, mapper):
+    return JobConf(name="ablate", mapper=mapper, reducer=CountReducer,
+                   inputs=[RecordFileInput(path)])
+
+
+def test_ablation_selection_vs_delta_conflict(benchmark, bench_dir):
+    """The footnote-3 rule: for a selective filter, selection wins big."""
+    path = str(bench_dir / "ab_conflict.rf")
+    generate_webpages(path, n=20_000, content_size=200, rank_max=1_000)
+    job = _job(path, RankFilterMapper(threshold=989))  # ~1%
+
+    def run_both():
+        results = {}
+        for label, kinds in (("selection", [cat.KIND_SELECTION]),
+                             ("delta", [cat.KIND_DELTA])):
+            system = Manimal(str(bench_dir / f"ab_cat_{label}"))
+            system.build_indexes(job, allowed_kinds=kinds)
+            plan = system.plan(job)
+            assert plan.optimizations() == kinds
+            results[label] = system.execute(job, plan)
+        return results
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    sel_s = simulate_seconds(results["selection"].metrics, scale=1000)
+    dlt_s = simulate_seconds(results["delta"].metrics, scale=1000)
+    assert sorted(results["selection"].outputs) == sorted(
+        results["delta"].outputs
+    )
+    lines = format_table(
+        ["Index choice", "simulated s", "records mapped", "bytes read"],
+        [
+            ["selection (paper's rule)", f"{sel_s:,.1f}",
+             results["selection"].metrics.map_input_records,
+             results["selection"].metrics.map_input_stored_bytes],
+            ["delta-compression", f"{dlt_s:,.1f}",
+             results["delta"].metrics.map_input_records,
+             results["delta"].metrics.map_input_stored_bytes],
+        ],
+    )
+    lines.append("")
+    lines.append(f"selection wins by {dlt_s / sel_s:.1f}x -> footnote-3 "
+                 "rule confirmed for selective filters")
+    emit_report("ablation_selection_vs_delta", lines)
+    assert sel_s < dlt_s
+
+
+def test_ablation_combined_vs_single_index(benchmark, bench_dir):
+    """Selection+projection vs selection alone (Section 2.2 policy)."""
+    path = str(bench_dir / "ab_combined.rf")
+    generate_webpages(path, n=10_000, content_size=2_000, rank_max=1_000)
+    job = _job(path, RankFilterMapper(threshold=899))  # 10%
+
+    def run_both():
+        results = {}
+        for label, kinds in (
+            ("combined", [cat.KIND_SELECTION_PROJECTION]),
+            ("selection-only", [cat.KIND_SELECTION]),
+        ):
+            system = Manimal(str(bench_dir / f"ab_comb_{label}"))
+            entries = system.build_indexes(job, allowed_kinds=kinds)
+            plan = system.plan(job)
+            results[label] = (system.execute(job, plan), entries[0])
+        return results
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    combined, centry = results["combined"]
+    single, sentry = results["selection-only"]
+    assert sorted(combined.outputs) == sorted(single.outputs)
+    rows = []
+    for label, (res, entry) in results.items():
+        rows.append([
+            label,
+            f"{simulate_seconds(res.metrics, 1000):,.1f}",
+            res.metrics.map_input_stored_bytes,
+            entry.stats["index_bytes"],
+        ])
+    lines = format_table(
+        ["Index", "simulated s", "bytes scanned", "index size"], rows
+    )
+    emit_report("ablation_combined_vs_single", lines)
+    # Combined reads fewer bytes per matched record (content dropped).
+    assert combined.metrics.map_input_stored_bytes < \
+        single.metrics.map_input_stored_bytes / 5
+
+
+def test_ablation_btree_page_size(benchmark, bench_dir):
+    """Range-scan I/O vs page size: bigger pages, fewer-but-larger reads."""
+    entries = [
+        (encode_key(FieldType.INT, i % 1000), f"payload-{i}".encode())
+        for i in range(50_000)
+    ]
+    entries.sort(key=lambda kv: kv[0])
+
+    def build_and_scan():
+        rows = []
+        for page_size in (512, 2048, 8192, 32768):
+            path = str(bench_dir / f"ab_pages_{page_size}.bt")
+            builder = BTreeBuilder(path, page_size=page_size)
+            for k, v in entries:
+                builder.add(k, v)
+            stats = builder.finish()
+            tree = BTree(path)
+            lo = encode_key(FieldType.INT, 100)
+            hi = encode_key(FieldType.INT, 110)
+            n = sum(1 for _ in tree.scan(lo, hi))
+            rows.append((page_size, stats.n_pages, stats.file_size,
+                         tree.bytes_read, tree.pages_read, n))
+            tree.close()
+        return rows
+
+    rows = benchmark.pedantic(build_and_scan, rounds=1, iterations=1)
+    counts = {r[5] for r in rows}
+    assert len(counts) == 1, "every page size returns the same records"
+    lines = format_table(
+        ["page size", "pages", "file bytes", "scan bytes", "scan pages",
+         "records"],
+        rows,
+    )
+    emit_report("ablation_btree_page_size", lines)
+    by_size = {r[0]: r for r in rows}
+    assert by_size[512][4] > by_size[32768][4], \
+        "small pages need more page fetches for the same range"
+
+
+def test_ablation_purity_knowledge_base(benchmark, bench_dir):
+    """Recall collapses without the KB; hash-table support changes notes."""
+    path = str(bench_dir / "ab_kb.rf")
+    generate_webpages(path, n=1_000, content_size=100, rank_max=100)
+    job = _job(path, PrefixFilterMapper())
+
+    def analyze_all():
+        with_kb = ManimalAnalyzer(DEFAULT_KB).analyze_job(job).inputs[0]
+        without = ManimalAnalyzer(EMPTY_KB).analyze_job(job).inputs[0]
+        with_ht = ManimalAnalyzer(
+            DEFAULT_KB.with_hashtable_support()
+        ).analyze_job(job).inputs[0]
+        return with_kb, without, with_ht
+
+    with_kb, without, with_ht = benchmark.pedantic(analyze_all, rounds=1,
+                                                   iterations=1)
+    assert with_kb.selection is not None, "KB makes startswith analyzable"
+    assert without.selection is None, "no KB -> recall collapses"
+    assert with_ht.selection is not None
+    lines = [
+        f"default KB      : selection={'Detected' if with_kb.selection else 'Missed'}",
+        f"empty KB        : selection="
+        f"{'Detected' if without.selection else 'Missed'} "
+        f"({without.notes['SELECT'][0][:70]})",
+        f"+hashtable KB   : selection="
+        f"{'Detected' if with_ht.selection else 'Missed'}",
+        "",
+        "The Benchmark-4 lesson generalized: the analyzer's recall is",
+        "bounded by its library knowledge, and extending the knowledge",
+        "base (the paper's suggested Hashtable fix) restores detection",
+        "without any change to the safety argument.",
+    ]
+    emit_report("ablation_purity_kb", lines)

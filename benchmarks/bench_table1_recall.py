@@ -1,0 +1,110 @@
+"""Table 1 -- analyzer recall on the four Pavlo benchmark programs.
+
+Paper Table 1::
+
+    Test         Description      Select      Project     Delta-Compression
+    Benchmark-1  Selection        Detected    Undetected  Undetected
+    Benchmark-2  Aggregation      Not Present Detected    Detected
+    Benchmark-3  Join             Detected    Not Present Detected
+    Benchmark-4  UDF Aggregation  Undetected  Not Present Not Present
+
+"The analyzer emits no false positives.  It fails to detect just three
+optimizations."  This bench reruns the analyzer over our re-implementations
+and reproduces the matrix cell for cell, including the *reasons* for each
+miss.
+"""
+
+import pytest
+
+from repro.core.analyzer import ManimalAnalyzer
+from repro.workloads.pavlo import (
+    benchmark1 as b1,
+    benchmark2 as b2,
+    benchmark3 as b3,
+    benchmark4 as b4,
+)
+from benchmarks.common import emit_report, format_table
+
+KINDS = ("SELECT", "PROJECT", "DELTA")
+
+#: Paper Table 1 cells, verbatim.
+PAPER_CELLS = {
+    "Benchmark-1": {"SELECT": "Detected", "PROJECT": "Undetected",
+                    "DELTA": "Undetected"},
+    "Benchmark-2": {"SELECT": "Not Present", "PROJECT": "Detected",
+                    "DELTA": "Detected"},
+    "Benchmark-3": {"SELECT": "Detected", "PROJECT": "Not Present",
+                    "DELTA": "Detected"},
+    "Benchmark-4": {"SELECT": "Undetected", "PROJECT": "Not Present",
+                    "DELTA": "Not Present"},
+}
+
+
+def classify(detected: bool, human_present: bool) -> str:
+    """Combine analyzer verdict and human annotation into a Table 1 cell."""
+    if detected:
+        return "Detected"
+    return "Undetected" if human_present else "Not Present"
+
+
+def _analyses(b1_input, b2_input, b3_inputs, b4_input):
+    analyzer = ManimalAnalyzer()
+    out = {}
+    job1 = b1.make_job(b1_input, threshold=9_997)
+    out["Benchmark-1"] = (analyzer.analyze_job(job1).inputs[0],
+                          b1.HUMAN_ANNOTATION)
+    job2 = b2.make_job(b2_input)
+    out["Benchmark-2"] = (analyzer.analyze_job(job2).inputs[0],
+                          b2.HUMAN_ANNOTATION)
+    lo, hi = b3.date_window_for_selectivity(0.00095)
+    job3 = b3.make_join_job(b3_inputs[0], b3_inputs[1], lo, hi)
+    analysis3 = analyzer.analyze_job(job3)
+    uv = [ia for ia in analysis3.inputs if ia.input_tag == "uservisits"][0]
+    out["Benchmark-3"] = (uv, b3.HUMAN_ANNOTATION)
+    job4 = b4.make_job(b4_input)
+    out["Benchmark-4"] = (analyzer.analyze_job(job4).inputs[0],
+                          b4.HUMAN_ANNOTATION)
+    return out
+
+
+def test_table1_analyzer_recall(benchmark, b1_input, b2_input, b3_inputs,
+                                b4_input):
+    results = benchmark.pedantic(
+        _analyses, args=(b1_input, b2_input, b3_inputs, b4_input),
+        rounds=1, iterations=1,
+    )
+
+    kind_attr = {"SELECT": "selection", "PROJECT": "projection",
+                 "DELTA": "delta"}
+    rows = []
+    mismatches = []
+    for name in sorted(results):
+        ia, human = results[name]
+        cells = {}
+        for kind in KINDS:
+            detected = getattr(ia, kind_attr[kind]) is not None
+            cells[kind] = classify(detected, human[kind])
+            # The safety invariant: never a false positive.
+            if detected:
+                assert human[kind], f"{name} {kind}: FALSE POSITIVE"
+            if cells[kind] != PAPER_CELLS[name][kind]:
+                mismatches.append((name, kind, cells[kind],
+                                   PAPER_CELLS[name][kind]))
+        reason = ""
+        for kind in KINDS:
+            if cells[kind] == "Undetected":
+                notes = ia.notes.get(kind, ["?"])
+                reason = f"{kind.lower()} missed: {notes[0][:60]}"
+                break
+        rows.append([name, cells["SELECT"], cells["PROJECT"], cells["DELTA"],
+                     reason])
+
+    lines = format_table(
+        ["Test", "Select", "Project", "Delta-Compression", "Miss reason"],
+        rows,
+    )
+    lines.append("")
+    lines.append(f"cells matching paper Table 1: "
+                 f"{12 - len(mismatches)}/12")
+    emit_report("table1_recall", lines)
+    assert not mismatches, mismatches

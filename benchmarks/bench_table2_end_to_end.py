@@ -1,0 +1,164 @@
+"""Table 2 -- end-to-end Manimal speedups on the Pavlo benchmarks.
+
+Paper Table 2::
+
+    Test         Description      Space Overhead  Hadoop     Manimal    Speedup
+    Benchmark-1  Selection        0.1%            429.78s    38.35s     11.21
+    Benchmark-2  Aggregation      20%             5,496.29s  1,855.65s  2.96
+    Benchmark-3  Join             11.7%           6,077.97s  903.75s    6.73
+    Benchmark-4  UDF Aggregation  0%              N/A        N/A        0
+
+Shape expectations (DESIGN.md): B1 ~10x, B3 ~5-8x, B2 ~2-4x, B4
+unoptimized; ordering B1 > B3 > B2 must hold.  Benchmark 1 uses the
+paper's 0.02% selectivity; Benchmark 3 keeps 0.095% of UserVisits.
+"""
+
+import pytest
+
+from repro.core.manimal import Manimal
+from repro.core.optimizer import catalog as cat
+from repro.mapreduce import run_job
+from repro.workloads.pavlo import (
+    benchmark1 as b1,
+    benchmark2 as b2,
+    benchmark3 as b3,
+    benchmark4 as b4,
+)
+from benchmarks.common import (
+    GB,
+    emit_report,
+    fmt_secs,
+    fmt_speedup,
+    format_table,
+    scale_for,
+    simulate_seconds,
+)
+
+#: Paper dataset sizes for the extrapolation (Pavlo-scale on 5 nodes).
+PAPER_BYTES = {
+    "Benchmark-1": 5 * GB,       # Rankings, ~1 GB/node
+    "Benchmark-2": 100 * GB,     # UserVisits, ~20 GB/node
+    "Benchmark-3": 105 * GB,     # Rankings + UserVisits
+}
+
+PAPER_ROWS = {
+    "Benchmark-1": ("0.1%", 429.78, 38.35, 11.21),
+    "Benchmark-2": ("20%", 5496.29, 1855.65, 2.96),
+    "Benchmark-3": ("11.7%", 6077.97, 903.752, 6.73),
+    "Benchmark-4": ("0%", None, None, None),
+}
+
+
+def _space_overhead(entries) -> float:
+    """Aggregate index cost in disk space, relative to total source bytes.
+
+    Selection indexes are a *reorganized copy* of the data (clustered
+    B+Tree); their overhead is the structure beyond the data itself.
+    Rewrite-style indexes (projection/delta/dictionary) are reduced copies;
+    their overhead is their full size.  Multi-input jobs aggregate by
+    bytes, not by averaging fractions.
+    """
+    if not entries:
+        return 0.0
+    total_src = sum(e.stats["source_bytes"] for e in entries)
+    overhead_bytes = 0.0
+    for e in entries:
+        idx = e.stats["index_bytes"]
+        if e.kind in (cat.KIND_SELECTION, cat.KIND_SELECTION_PROJECTION):
+            overhead_bytes += max(0.0, idx - e.stats["source_bytes"])
+        else:
+            overhead_bytes += idx
+    return overhead_bytes / total_src
+
+
+def _measure(job, system, paper_bytes, local_bytes, sort_key=repr):
+    baseline = run_job(job)
+    outcome = system.submit(job, build_indexes=True)
+    assert sorted(outcome.result.outputs, key=sort_key) == sorted(
+        baseline.outputs, key=sort_key
+    ), "optimized output must equal plain output"
+    scale = scale_for(local_bytes, paper_bytes)
+    hadoop_s = simulate_seconds(baseline.metrics, scale)
+    manimal_s = simulate_seconds(outcome.result.metrics, scale)
+    overhead = _space_overhead(outcome.built_indexes)
+    return hadoop_s, manimal_s, overhead, outcome
+
+
+def test_table2_end_to_end(benchmark, tmp_path, b1_input, b2_input,
+                           b3_inputs, b4_input):
+    import os
+
+    system = Manimal(str(tmp_path / "catalog"))
+    rows = []
+    measured = {}
+
+    # Benchmark 1 -- selection at 0.02% selectivity (rank > 9997 of 10k).
+    job1 = b1.make_job(b1_input, threshold=9_997)
+    h1, m1, ov1, out1 = benchmark.pedantic(
+        _measure,
+        args=(job1, system, PAPER_BYTES["Benchmark-1"],
+              os.path.getsize(b1_input)),
+        rounds=1, iterations=1,
+    )
+    assert out1.descriptor.optimizations() == [cat.KIND_SELECTION], \
+        "B1 must get a plain selection index (projection is Undetected)"
+    measured["Benchmark-1"] = (ov1, h1, m1)
+
+    # Benchmark 2 -- aggregation with projection+delta.
+    job2 = b2.make_job(b2_input)
+    h2, m2, ov2, out2 = _measure(
+        job2, system, PAPER_BYTES["Benchmark-2"],
+        os.path.getsize(b2_input),
+    )
+    assert out2.descriptor.optimizations() == [cat.KIND_PROJECTION_DELTA]
+    measured["Benchmark-2"] = (ov2, h2, m2)
+
+    # Benchmark 3 -- join; selection keeps 0.095% of UserVisits.
+    lo, hi = b3.date_window_for_selectivity(0.00095)
+    job3 = b3.make_join_job(b3_inputs[0], b3_inputs[1], lo, hi)
+    local3 = os.path.getsize(b3_inputs[0]) + os.path.getsize(b3_inputs[1])
+    h3, m3, ov3, out3 = _measure(job3, system, PAPER_BYTES["Benchmark-3"],
+                                 local3)
+    uv_plan = [p for p in out3.descriptor.plans
+               if p.original.tag == "uservisits"][0]
+    assert uv_plan.optimized and "selection" in uv_plan.entry.kind
+    measured["Benchmark-3"] = (ov3, h3, m3)
+
+    # Benchmark 4 -- no optimization found; Manimal runs it plain.
+    job4 = b4.make_job(b4_input)
+    out4 = system.submit(job4, build_indexes=True)
+    assert not out4.optimized
+    measured["Benchmark-4"] = (0.0, None, None)
+
+    # ---- report -------------------------------------------------------------
+    for name in sorted(measured):
+        ov, h, m = measured[name]
+        p_ov, p_h, p_m, p_sp = PAPER_ROWS[name]
+        speedup = None if h is None else h / m
+        rows.append([
+            name,
+            f"{ov:.1%}",
+            p_ov,
+            "N/A" if h is None else fmt_secs(h),
+            "N/A" if p_h is None else fmt_secs(p_h),
+            "N/A" if m is None else fmt_secs(m),
+            "N/A" if p_m is None else fmt_secs(p_m),
+            fmt_speedup(speedup),
+            fmt_speedup(p_sp),
+        ])
+    lines = format_table(
+        ["Test", "Overhead", "(paper)", "Hadoop s", "(paper)",
+         "Manimal s", "(paper)", "Speedup", "(paper)"],
+        rows,
+    )
+    emit_report("table2_end_to_end", lines)
+
+    # ---- shape assertions -----------------------------------------------------
+    sp1 = measured["Benchmark-1"][1] / measured["Benchmark-1"][2]
+    sp2 = measured["Benchmark-2"][1] / measured["Benchmark-2"][2]
+    sp3 = measured["Benchmark-3"][1] / measured["Benchmark-3"][2]
+    assert sp1 > 5.0, f"B1 selection speedup too small: {sp1:.2f}"
+    assert 1.5 < sp2 < 6.0, f"B2 aggregation speedup out of band: {sp2:.2f}"
+    assert sp3 > 3.0, f"B3 join speedup too small: {sp3:.2f}"
+    assert sp1 > sp3 > sp2, "paper ordering B1 > B3 > B2 must hold"
+    assert measured["Benchmark-2"][0] < 0.5, "B2 index must be small"

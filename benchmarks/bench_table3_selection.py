@@ -1,0 +1,110 @@
+"""Table 3 -- selection speedup vs selectivity sweep.
+
+Paper Table 3 (WebPages, 129.5 GB, query ``SELECT pageRank, COUNT(url)
+FROM WebPages WHERE pageRank > t GROUP BY pageRank``)::
+
+    Selectivity        60%      50%      40%      30%      20%      10%
+    Hadoop (secs)    2,004.9  1,971.1  1,982.8  1,995.2  1,977.3  1,966.9
+    Manimal (secs)   1,265.1  1,064.7    867.9    669.1    471.7    276.7
+    Speedup           1.59     1.85     2.29     2.98     4.19     7.10
+
+Shape: the Hadoop baseline is flat (always a full scan); Manimal's time is
+roughly linear in selectivity, so speedup grows monotonically as the
+filter gets more selective.  Only the *selection* optimization is allowed,
+as in the paper: "for this experiment we examine only the selection
+optimization, even though others may apply."
+"""
+
+import os
+
+from repro.core.manimal import Manimal
+from repro.core.optimizer import catalog as cat
+from repro.mapreduce import run_job
+from repro.workloads.datagen import rank_threshold_for_selectivity
+from repro.workloads.single_opt import make_selection_job
+from benchmarks.common import (
+    GB,
+    emit_report,
+    fmt_bytes,
+    fmt_secs,
+    fmt_speedup,
+    format_table,
+    scale_for,
+    simulate_seconds,
+)
+
+PAPER_INPUT_BYTES = 129.5 * GB
+SELECTIVITIES = (0.60, 0.50, 0.40, 0.30, 0.20, 0.10)
+PAPER = {
+    0.60: (2004.9, 1265.13, 1.59),
+    0.50: (1971.12, 1064.69, 1.85),
+    0.40: (1982.80, 867.91, 2.29),
+    0.30: (1995.16, 669.09, 2.98),
+    0.20: (1977.27, 471.66, 4.19),
+    0.10: (1966.94, 276.72, 7.10),
+}
+RANK_MAX = 1_000
+
+
+def _run_sweep(webpages_t3, catalog_dir):
+    scale = scale_for(os.path.getsize(webpages_t3), PAPER_INPUT_BYTES)
+    system = Manimal(catalog_dir)
+    results = {}
+    for selectivity in SELECTIVITIES:
+        threshold = rank_threshold_for_selectivity(RANK_MAX, selectivity)
+        job = make_selection_job(webpages_t3, threshold,
+                                 name=f"t3-sel-{selectivity:.2f}")
+        baseline = run_job(job)
+        system.build_indexes(job, allowed_kinds=[cat.KIND_SELECTION])
+        plan = system.plan(job)
+        assert plan.optimizations() == [cat.KIND_SELECTION]
+        optimized = system.execute(job, plan)
+        assert sorted(optimized.outputs) == sorted(baseline.outputs)
+        results[selectivity] = (
+            simulate_seconds(baseline.metrics, scale),
+            simulate_seconds(optimized.metrics, scale),
+            baseline.metrics.shuffle_bytes * scale,
+            optimized.metrics.map_input_records / max(
+                1, baseline.metrics.map_input_records
+            ),
+        )
+    return results
+
+
+def test_table3_selection_sweep(benchmark, tmp_path, webpages_t3):
+    results = benchmark.pedantic(
+        _run_sweep, args=(webpages_t3, str(tmp_path / "catalog")),
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    speedups = []
+    hadoop_times = []
+    for selectivity in SELECTIVITIES:
+        hadoop_s, manimal_s, inter_bytes, achieved = results[selectivity]
+        p_h, p_m, p_sp = PAPER[selectivity]
+        speedup = hadoop_s / manimal_s
+        speedups.append(speedup)
+        hadoop_times.append(hadoop_s)
+        rows.append([
+            f"{selectivity:.0%}",
+            fmt_bytes(inter_bytes),
+            fmt_secs(hadoop_s), fmt_secs(p_h),
+            fmt_secs(manimal_s), fmt_secs(p_m),
+            fmt_speedup(speedup), fmt_speedup(p_sp),
+            f"{achieved:.1%}",
+        ])
+    lines = format_table(
+        ["Selectivity", "Intermediate", "Hadoop s", "(paper)",
+         "Manimal s", "(paper)", "Speedup", "(paper)", "records mapped"],
+        rows,
+    )
+    emit_report("table3_selection", lines)
+
+    # Shape assertions.
+    assert all(b > a for a, b in zip(speedups, speedups[1:])), \
+        "speedup must grow monotonically as selectivity falls"
+    assert 1.2 < speedups[0] < 2.5, f"60% speedup {speedups[0]:.2f}"
+    assert 5.0 < speedups[-1] < 12.0, f"10% speedup {speedups[-1]:.2f}"
+    flat = max(hadoop_times) / min(hadoop_times)
+    assert flat < 1.05, "Hadoop baseline must be flat across selectivities"

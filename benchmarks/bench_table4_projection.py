@@ -1,0 +1,103 @@
+"""Table 4 -- projection speedups across content-size configurations.
+
+Paper Table 4 (query ``SELECT destURL, pageRank FROM WebPages WHERE
+pageRank > threshold``; the huge ``content`` field is never read)::
+
+                         Small-1    Small-2    Large
+    Original file size   8.13GB     19.72GB    123.63GB
+    Number tuples        11.1M      27M        11.1M
+    Avg content size     510B       510B       10K
+    Index size           743.2MB    1.76GB     743.2MB
+    Hadoop (secs)        78.1       216.8      1,473.8
+    Manimal (secs)       32.5       72.2       52.9
+    Speedup              2.4        3          27.8
+
+Shape: Large >> Small-2 >= Small-1; the Large speedup comes from the much
+larger fraction of bytes projected away.  Only projection is exercised.
+"""
+
+import os
+
+from repro.core.manimal import Manimal
+from repro.core.optimizer import catalog as cat
+from repro.mapreduce import run_job
+from repro.workloads.datagen import generate_webpages
+from repro.workloads.single_opt import make_projection_job
+from benchmarks.common import (
+    GB,
+    emit_report,
+    fmt_bytes,
+    fmt_secs,
+    fmt_speedup,
+    format_table,
+    scale_for,
+    simulate_seconds,
+)
+
+#: name -> (local tuples, content bytes, paper file bytes, paper row)
+CONFIGS = {
+    "Small-1": (6_000, 510, 8.13 * GB, (78.1, 32.5, 2.4)),
+    "Small-2": (15_000, 510, 19.72 * GB, (216.8, 72.2, 3.0)),
+    "Large": (3_000, 10_240, 123.63 * GB, (1473.8, 52.9, 27.8)),
+}
+RANK_MAX = 100
+THRESHOLD = 49  # ~50% pass the filter; projection, not selection, is tested
+
+
+def _run_config(bench_dir, name):
+    n, content, paper_bytes, _paper = CONFIGS[name]
+    path = str(bench_dir / f"t4_{name}.rf")
+    generate_webpages(path, n=n, content_size=content, rank_max=RANK_MAX)
+    job = make_projection_job(path, THRESHOLD, name=f"t4-{name}")
+    baseline = run_job(job)
+    system = Manimal(str(bench_dir / f"t4_cat_{name}"))
+    entries = system.build_indexes(job, allowed_kinds=[cat.KIND_PROJECTION])
+    plan = system.plan(job)
+    assert plan.optimizations() == [cat.KIND_PROJECTION]
+    optimized = system.execute(job, plan)
+    assert sorted(optimized.outputs) == sorted(baseline.outputs)
+    scale = scale_for(os.path.getsize(path), paper_bytes)
+    return (
+        os.path.getsize(path) * scale,
+        entries[0].stats["index_bytes"] * scale,
+        simulate_seconds(baseline.metrics, scale),
+        simulate_seconds(optimized.metrics, scale),
+    )
+
+
+def test_table4_projection(benchmark, bench_dir):
+    results = {}
+    for name in CONFIGS:
+        if name == "Large":
+            results[name] = benchmark.pedantic(
+                _run_config, args=(bench_dir, name), rounds=1, iterations=1
+            )
+        else:
+            results[name] = _run_config(bench_dir, name)
+
+    rows = []
+    speedups = {}
+    for name in ("Small-1", "Small-2", "Large"):
+        file_bytes, index_bytes, hadoop_s, manimal_s = results[name]
+        p_h, p_m, p_sp = CONFIGS[name][3]
+        speedups[name] = hadoop_s / manimal_s
+        rows.append([
+            name,
+            fmt_bytes(file_bytes),
+            fmt_bytes(index_bytes),
+            fmt_secs(hadoop_s), fmt_secs(p_h),
+            fmt_secs(manimal_s), fmt_secs(p_m),
+            fmt_speedup(speedups[name]), fmt_speedup(p_sp),
+        ])
+    lines = format_table(
+        ["Config", "File (scaled)", "Index (scaled)", "Hadoop s", "(paper)",
+         "Manimal s", "(paper)", "Speedup", "(paper)"],
+        rows,
+    )
+    emit_report("table4_projection", lines)
+
+    assert speedups["Large"] > 10.0, \
+        f"Large must be dramatic: {speedups['Large']:.1f}"
+    assert speedups["Large"] > 3 * speedups["Small-2"]
+    assert speedups["Small-2"] >= speedups["Small-1"] * 0.8
+    assert 1.5 < speedups["Small-1"] < 8.0

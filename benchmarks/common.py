@@ -1,0 +1,90 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Each ``bench_table*.py`` file regenerates one table or figure from the
+paper's evaluation.  The pattern everywhere:
+
+1. generate MB-scale input data with the Figure 7 generators,
+2. run the plain ("Hadoop") job and the Manimal-optimized job on the real
+   execution fabric, collecting exact byte/record metrics,
+3. convert both metric sets into simulated 5-node-cluster seconds with
+   :data:`~repro.mapreduce.cost.PAPER_CLUSTER`, scaling volumes linearly
+   up to the paper's dataset size (``scale = paper_bytes / local_bytes``),
+4. print a paper-vs-measured table and assert the *shape* (who wins, by
+   roughly what factor) matches the paper.
+
+Output goes both to stdout (bypassing pytest capture, so it lands in the
+``tee``'d bench log) and to ``benchmarks/results/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.mapreduce.cost import PAPER_CLUSTER
+from repro.mapreduce.metrics import JobMetrics
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+GB = 1024.0 ** 3
+MB = 1024.0 ** 2
+
+
+#: Reports accumulated during the session; the conftest's
+#: ``pytest_terminal_summary`` hook prints them after the benchmark table
+#: (pytest's fd-level capture would swallow direct writes).
+SESSION_REPORTS: List[str] = []
+
+
+def emit_report(name: str, lines: Sequence[str]) -> None:
+    """Persist a report under results/ and queue it for terminal summary."""
+    text = "\n".join(lines)
+    SESSION_REPORTS.append(f"===== {name} =====\n{text}")
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w",
+              encoding="utf-8") as f:
+        f.write(text + "\n")
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]
+                 ) -> List[str]:
+    """Fixed-width text table."""
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    out = []
+    for i, row in enumerate(cells):
+        out.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            out.append("  ".join("-" * w for w in widths))
+    return out
+
+
+def simulate_seconds(metrics: JobMetrics, scale: float) -> float:
+    """Simulated 5-node cluster seconds at the paper's data scale."""
+    return PAPER_CLUSTER.simulate(metrics, scale=scale).total_s
+
+
+def scale_for(local_bytes: int, paper_bytes: float) -> float:
+    """Linear extrapolation factor from generated data to paper data."""
+    if local_bytes <= 0:
+        raise ValueError("local dataset is empty")
+    return paper_bytes / local_bytes
+
+
+def fmt_secs(seconds: float) -> str:
+    return f"{seconds:,.1f}"
+
+
+def fmt_speedup(x: Optional[float]) -> str:
+    return "n/a" if x is None else f"{x:.2f}x"
+
+
+def fmt_bytes(n: float) -> str:
+    if n >= GB:
+        return f"{n / GB:.2f}GB"
+    if n >= MB:
+        return f"{n / MB:.2f}MB"
+    return f"{n / 1024.0:.1f}KB"

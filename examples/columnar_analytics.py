@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Columnar analytics: projection + delta-compression on wide records.
+
+The paper's Benchmark 2 scenario: an aggregation reads 2 of 9 UserVisits
+fields, so most of every record is wasted I/O.  Manimal detects the
+projection, notices the kept fields include integral ones, and builds a
+combined projection+delta index ("the current analyzer always chooses the
+index program that exploits as many optimizations as possible").
+
+This example reports the space accounting the paper highlights -- index
+size as a fraction of the original (20% in Table 2) and delta's storage
+saving (47% in Table 5) -- on locally generated data.
+
+Run:  python examples/columnar_analytics.py
+"""
+
+import os
+import shutil
+import tempfile
+
+from repro import Manimal, JobConf, Mapper, Reducer, RecordFileInput, run_job
+from repro.workloads.datagen import generate_uservisits
+
+
+class RevenueByCountryMapper(Mapper):
+    """Read two fields out of nine: countryCode and adRevenue."""
+
+    def map(self, key, value, ctx):
+        ctx.emit(value.countryCode, value.adRevenue)
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, sum(values))
+
+
+def main():
+    workdir = tempfile.mkdtemp(prefix="manimal-columnar-")
+    try:
+        visits = os.path.join(workdir, "uservisits.rf")
+        print("generating 40,000 UserVisits records ...")
+        generate_uservisits(visits, n=40_000)
+        original_bytes = os.path.getsize(visits)
+
+        job = JobConf(
+            name="revenue-by-country",
+            mapper=RevenueByCountryMapper,
+            reducer=SumReducer,
+            combiner=SumReducer,
+            inputs=[RecordFileInput(visits)],
+        )
+
+        system = Manimal(catalog_dir=os.path.join(workdir, "catalog"))
+        analysis = system.analyze(job)
+        ia = analysis.inputs[0]
+        print("\nanalyzer verdict:")
+        print("  projection:", ia.projection)
+        print("  delta     :", ia.delta)
+
+        program = system.index_programs(job, analysis)[0]
+        print("\nsynthesized index-generation program:")
+        print(" ", program.describe())
+
+        baseline = run_job(job)
+        outcome = system.submit(job, build_indexes=True)
+        print("\n" + outcome.descriptor.describe())
+        assert sorted(outcome.result.outputs) == sorted(baseline.outputs)
+
+        entry = outcome.built_indexes[0]
+        index_bytes = entry.stats["index_bytes"]
+        print(f"\noriginal file : {original_bytes:,} bytes")
+        print(f"index file    : {index_bytes:,} bytes "
+              f"({index_bytes / original_bytes:.1%} of original; "
+              "the paper's Benchmark 2 index was 20%)")
+        bm, om = baseline.metrics, outcome.result.metrics
+        print(f"bytes scanned : {bm.map_input_stored_bytes:,} -> "
+              f"{om.map_input_stored_bytes:,}")
+        print("per-country revenue:", outcome.result.sorted_outputs()[:4], "...")
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

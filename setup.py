@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+Kept so the package installs in offline environments that lack the `wheel`
+package (where PEP 660 editable installs fail). `pip install -e .` uses
+pyproject.toml when possible; `python setup.py develop` works everywhere.
+"""
+from setuptools import setup
+
+setup()

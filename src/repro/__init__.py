@@ -1,0 +1,65 @@
+"""Manimal: automatic relational optimization for MapReduce programs.
+
+A full reproduction of Jahani, Cafarella & Re, "Automatic Optimization
+for MapReduce Programs", PVLDB 4(6), 2011.
+
+Quickstart::
+
+    from repro import Manimal, JobConf, Mapper, Reducer, RecordFileInput
+
+    class HighRankMapper(Mapper):
+        def map(self, key, value, ctx):
+            if value.rank > 10:
+                ctx.emit(value.rank, 1)
+
+    class CountReducer(Reducer):
+        def reduce(self, key, values, ctx):
+            ctx.emit(key, sum(values))
+
+    conf = JobConf(name="high-ranks", mapper=HighRankMapper,
+                   reducer=CountReducer,
+                   inputs=[RecordFileInput("webpages.rf")])
+    system = Manimal(catalog_dir="./catalog")
+    outcome = system.submit(conf, build_indexes=True)
+    print(outcome.summary())
+    print(outcome.result.sorted_outputs())
+"""
+
+from repro.core.manimal import Manimal, ManimalResult
+from repro.core.pipeline import ManimalPipeline
+from repro.explain import explain_job
+from repro.mapreduce import (
+    Context,
+    CostModel,
+    JobConf,
+    JobResult,
+    Mapper,
+    PAPER_CLUSTER,
+    RecordFileInput,
+    Reducer,
+    run_job,
+)
+from repro.storage import Field, FieldType, Record, Schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Context",
+    "CostModel",
+    "Field",
+    "FieldType",
+    "JobConf",
+    "JobResult",
+    "Manimal",
+    "ManimalPipeline",
+    "ManimalResult",
+    "Mapper",
+    "PAPER_CLUSTER",
+    "Record",
+    "RecordFileInput",
+    "Reducer",
+    "Schema",
+    "__version__",
+    "explain_job",
+    "run_job",
+]

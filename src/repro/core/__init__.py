@@ -1,0 +1,11 @@
+"""Manimal core: the paper's primary contribution.
+
+* :mod:`repro.core.analyzer` -- static analysis of mapper code
+* :mod:`repro.core.optimizer` -- catalog, index generation, planning
+* :mod:`repro.core.manimal` -- the end-to-end system facade
+"""
+
+from repro.core.manimal import Manimal, ManimalResult
+from repro.core.pipeline import ManimalPipeline, StageOutcome
+
+__all__ = ["Manimal", "ManimalPipeline", "ManimalResult", "StageOutcome"]

@@ -1,0 +1,59 @@
+"""Manimal's static analyzer (paper Section 3 + Appendix C).
+
+Pipeline: mapper source -> AST -> three-address IR (:mod:`lowering`) ->
+CFG (:mod:`cfg`) -> reaching definitions / use-def DAGs (:mod:`dataflow`)
+-> symbolic conditions + ``isFunc`` (:mod:`conditions`, :mod:`purity`) ->
+detectors (:mod:`selection`, :mod:`projection`, :mod:`compression`,
+:mod:`sideeffects`) -> optimization descriptors (:mod:`descriptors`).
+"""
+
+from repro.core.analyzer.analyzer import ManimalAnalyzer, peek_schemas
+from repro.core.analyzer.conditions import (
+    Conjunct,
+    MemberEnv,
+    SelectionFormula,
+    SymbolicResolver,
+)
+from repro.core.analyzer.dataflow import ReachingDefinitions, build_use_def_dag
+from repro.core.analyzer.descriptors import (
+    DELTA,
+    DIRECT,
+    DeltaCompressionDescriptor,
+    DirectOperationDescriptor,
+    InputAnalysis,
+    JobAnalysis,
+    PROJECT,
+    ProjectionDescriptor,
+    SELECT,
+    SelectionDescriptor,
+    SideEffect,
+)
+from repro.core.analyzer.lowering import LoweredFunction, lower_function
+from repro.core.analyzer.purity import DEFAULT_KB, EMPTY_KB, KnowledgeBase
+
+__all__ = [
+    "Conjunct",
+    "DEFAULT_KB",
+    "DELTA",
+    "DIRECT",
+    "DeltaCompressionDescriptor",
+    "DirectOperationDescriptor",
+    "EMPTY_KB",
+    "InputAnalysis",
+    "JobAnalysis",
+    "KnowledgeBase",
+    "LoweredFunction",
+    "ManimalAnalyzer",
+    "MemberEnv",
+    "PROJECT",
+    "ProjectionDescriptor",
+    "ReachingDefinitions",
+    "SELECT",
+    "SelectionDescriptor",
+    "SelectionFormula",
+    "SideEffect",
+    "SymbolicResolver",
+    "build_use_def_dag",
+    "lower_function",
+    "peek_schemas",
+]

@@ -1,0 +1,245 @@
+"""Control-flow graphs over the analyzer IR.
+
+"A CFG for a method contains a node for each block of statements, and
+directed edges that represent control transitions from one block to
+another" (paper Section 3.1).  This module provides the block structure,
+the two synthetic entry/exit nodes, edge polarity for conditional branches
+(needed to attach ``cond`` vs ``not cond`` to the two sides of an ``if``),
+cycle detection, and enumeration of all entry-to-statement paths used by
+``findSelect`` / ``findProject``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.core.analyzer.ir import Expr, Stmt
+
+
+class Terminator:
+    """Base class for block terminators."""
+
+    __slots__ = ()
+
+
+class Jump(Terminator):
+    """Unconditional transfer."""
+
+    __slots__ = ("target",)
+
+    def __init__(self, target: int):
+        self.target = target
+
+    def __repr__(self) -> str:
+        return f"jump B{self.target}"
+
+
+class CondJump(Terminator):
+    """Two-way branch on a condition expression.
+
+    The condition is an IR expression (typically a :class:`VarRef` to a
+    lowered temporary); the polarity of the edge taken is what the path
+    conditions record.
+    """
+
+    __slots__ = ("cond", "true_target", "false_target")
+
+    def __init__(self, cond: Expr, true_target: int, false_target: int):
+        self.cond = cond
+        self.true_target = true_target
+        self.false_target = false_target
+
+    def __repr__(self) -> str:
+        return f"if {self.cond!r} -> B{self.true_target} else B{self.false_target}"
+
+
+class ExitTerm(Terminator):
+    """Falls off the function (reaches the synthetic exit node)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "exit"
+
+
+class BasicBlock:
+    """A maximal straight-line statement sequence with one terminator."""
+
+    __slots__ = ("block_id", "stmts", "terminator")
+
+    def __init__(self, block_id: int):
+        self.block_id = block_id
+        self.stmts: List[Stmt] = []
+        self.terminator: Terminator = ExitTerm()
+
+    def successors(self) -> List[int]:
+        term = self.terminator
+        if isinstance(term, Jump):
+            return [term.target]
+        if isinstance(term, CondJump):
+            return [term.true_target, term.false_target]
+        return []
+
+    def __repr__(self) -> str:
+        lines = [f"B{self.block_id}:"]
+        lines += [f"  {s!r}" for s in self.stmts]
+        lines.append(f"  {self.terminator!r}")
+        return "\n".join(lines)
+
+
+#: One step of a CFG path: (branching block id, condition expression,
+#: polarity of the edge taken).  The block id is the resolution point for
+#: the condition's use-def facts.
+PathCondition = Tuple[int, Expr, bool]
+
+
+class CFG:
+    """The control-flow graph of one lowered function."""
+
+    def __init__(self) -> None:
+        self.blocks: Dict[int, BasicBlock] = {}
+        self.entry: int = 0
+
+    def new_block(self) -> BasicBlock:
+        block = BasicBlock(len(self.blocks))
+        self.blocks[block.block_id] = block
+        return block
+
+    def block(self, block_id: int) -> BasicBlock:
+        return self.blocks[block_id]
+
+    def all_statements(self) -> List[Stmt]:
+        out: List[Stmt] = []
+        for block_id in sorted(self.blocks):
+            out.extend(self.blocks[block_id].stmts)
+        return out
+
+    def statement_block(self, stmt: Stmt) -> Optional[int]:
+        for block_id, block in self.blocks.items():
+            if any(s is stmt for s in block.stmts):
+                return block_id
+        return None
+
+    def predecessors(self) -> Dict[int, List[int]]:
+        preds: Dict[int, List[int]] = {b: [] for b in self.blocks}
+        for block_id, block in self.blocks.items():
+            for succ in block.successors():
+                preds[succ].append(block_id)
+        return preds
+
+    # -- structure queries ---------------------------------------------------
+
+    def has_cycle(self) -> bool:
+        """Whether any loop exists (back edge under DFS from entry)."""
+        color: Dict[int, int] = {}  # 0 unvisited, 1 in-stack, 2 done
+
+        def visit(block_id: int) -> bool:
+            color[block_id] = 1
+            for succ in self.blocks[block_id].successors():
+                state = color.get(succ, 0)
+                if state == 1:
+                    return True
+                if state == 0 and visit(succ):
+                    return True
+            color[block_id] = 2
+            return False
+
+        return visit(self.entry)
+
+    def reachable_from_entry(self) -> Set[int]:
+        seen: Set[int] = set()
+        stack = [self.entry]
+        while stack:
+            block_id = stack.pop()
+            if block_id in seen:
+                continue
+            seen.add(block_id)
+            stack.extend(self.blocks[block_id].successors())
+        return seen
+
+    def blocks_reaching(self, target: int) -> Set[int]:
+        """All blocks from which ``target`` is reachable (inclusive)."""
+        preds = self.predecessors()
+        seen: Set[int] = set()
+        stack = [target]
+        while stack:
+            block_id = stack.pop()
+            if block_id in seen:
+                continue
+            seen.add(block_id)
+            stack.extend(preds[block_id])
+        return seen
+
+    # -- path enumeration ------------------------------------------------------
+
+    def paths_to_block(
+        self, target: int, max_paths: int = 1024
+    ) -> Optional[List[List[PathCondition]]]:
+        """All simple entry->``target`` paths as condition/polarity lists.
+
+        This is the paper's ``paths(s)`` + ``conds(path)`` machinery.
+        Returns ``None`` when the CFG has a cycle on some route to the
+        target or the path count exceeds ``max_paths`` -- callers treat
+        that as "cannot analyze", the conservative outcome.
+        """
+        if self.has_cycle():
+            return None
+        results: List[List[PathCondition]] = []
+
+        def walk(block_id: int, conds: List[PathCondition],
+                 visited: Set[int]) -> bool:
+            if len(results) >= max_paths:
+                return False
+            if block_id == target:
+                results.append(list(conds))
+                return True
+            block = self.blocks[block_id]
+            term = block.terminator
+            ok = True
+            if isinstance(term, Jump):
+                if term.target not in visited:
+                    ok = walk(term.target, conds, visited | {term.target})
+            elif isinstance(term, CondJump):
+                for branch_target, polarity in (
+                    (term.true_target, True),
+                    (term.false_target, False),
+                ):
+                    if branch_target in visited:
+                        continue
+                    conds.append((block_id, term.cond, polarity))
+                    if not walk(branch_target, conds, visited | {branch_target}):
+                        ok = False
+                    conds.pop()
+            return ok
+
+        complete = walk(self.entry, [], {self.entry})
+        if not complete:
+            return None
+        return results
+
+    def to_dot(self) -> str:
+        """Graphviz rendering -- used to regenerate the paper's Figure 4."""
+        lines = ["digraph cfg {", '  node [shape=box, fontname="monospace"];']
+        lines.append('  fn_entry [shape=ellipse, label="fn entry"];')
+        lines.append('  fn_exit [shape=ellipse, label="fn exit"];')
+        lines.append(f"  fn_entry -> B{self.entry};")
+        for block_id in sorted(self.blocks):
+            block = self.blocks[block_id]
+            label_lines = [repr(s) for s in block.stmts] or ["(empty)"]
+            label = "\\l".join(line.replace('"', "'") for line in label_lines)
+            lines.append(f'  B{block_id} [label="B{block_id}:\\l{label}\\l"];')
+            term = block.terminator
+            if isinstance(term, Jump):
+                lines.append(f"  B{block_id} -> B{term.target};")
+            elif isinstance(term, CondJump):
+                cond = repr(term.cond).replace('"', "'")
+                lines.append(
+                    f'  B{block_id} -> B{term.true_target} [label="{cond}"];'
+                )
+                lines.append(
+                    f'  B{block_id} -> B{term.false_target} [label="!{cond}"];'
+                )
+            else:
+                lines.append(f"  B{block_id} -> fn_exit;")
+        lines.append("}")
+        return "\n".join(lines)

@@ -1,0 +1,219 @@
+"""Compression detection: delta-compression and direct operation.
+
+Delta-compression (paper Appendix C): "analyzer simply tests whether the
+serialized key and value inputs to map() contain numeric values.  If so,
+delta-compression can be applied to those fields."  The test requires a
+*transparent* schema -- Benchmark 1's opaque ``AbstractTuple`` exposes no
+numeric fields, which is exactly why its delta opportunity goes undetected.
+
+Direct operation (paper Section 2.1 / Appendix C): "input parameters for
+which all uses are equality tests are suitable for direct-operation on
+compressed data", with the footnote that a map output key qualifies "as
+long as the user does not require the final program output to be in sorted
+order."  This reproduction is stricter than the paper in one respect,
+documented in DESIGN.md: because our fabric runs the user's mapper
+unmodified (no bytecode rewriting), equality tests against program
+*constants* cannot be transparently re-encoded, so only these uses qualify:
+
+* the field is the map output key (grouping semantics survive coding), or
+* equality against another occurrence of the same compressed field.
+
+Additionally, we verify through a light reduce-side check that the reducer
+does not leak its key into the final output (the compressed code would
+surface to the user otherwise).  Both restrictions only ever *suppress*
+optimizations -- the safe direction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.analyzer.conditions import (
+    ROLE_VALUE,
+    SCompare,
+    SOpaque,
+    SParamField,
+    SymExpr,
+    SymbolicResolver,
+)
+from repro.core.analyzer.descriptors import (
+    DeltaCompressionDescriptor,
+    DirectOperationDescriptor,
+)
+from repro.core.analyzer.lowering import LoweredFunction
+from repro.storage.serialization import FieldType, Schema
+
+#: Use-context labels for direct-operation eligibility.
+USE_EMIT_KEY = "emit-key"
+USE_EQUALITY_SAME_FIELD = "equality-same-field"
+USE_EQUALITY_CONST = "equality-vs-constant"
+USE_OTHER = "other"
+
+
+def find_delta(
+    key_schema: Optional[Schema],
+    value_schema: Optional[Schema],
+) -> Tuple[Optional[DeltaCompressionDescriptor], List[str]]:
+    """Delta-compression detection; returns (descriptor or None, notes)."""
+    if value_schema is None:
+        return None, ["no value schema metadata available for this input"]
+    if not value_schema.transparent:
+        return None, [
+            f"value schema {value_schema.name!r} uses custom opaque "
+            "serialization; numeric fields are not identifiable"
+        ]
+    fields = value_schema.numeric_field_names()
+    if not fields:
+        return None, ["the value schema has no integral fields"]
+    return DeltaCompressionDescriptor(fields=fields), []
+
+
+def _field_use_contexts(root: SymExpr, field_name: str) -> List[str]:
+    """Classify every occurrence of ``value.<field_name>`` inside ``root``.
+
+    The occurrence's *immediate parent* decides the context; anything other
+    than a plain equality comparison is ``other`` (arithmetic, method
+    receiver, ordering comparison, ...), which disqualifies the field.
+    """
+
+    def is_target(node: SymExpr) -> bool:
+        return (
+            isinstance(node, SParamField)
+            and node.role == ROLE_VALUE
+            and node.path == (field_name,)
+        )
+
+    contexts: List[str] = []
+
+    def walk(node: SymExpr) -> None:
+        if isinstance(node, SOpaque):
+            # The field flowed into code the analyzer cannot model; that is
+            # an unanalyzable use, which disqualifies compression.
+            if any(
+                role == ROLE_VALUE and name == field_name
+                for role, name in node.field_deps
+            ) or ROLE_VALUE in node.whole_params:
+                contexts.append(USE_OTHER)
+            return
+        if isinstance(node, SCompare) and node.op in ("==", "!="):
+            left_t, right_t = is_target(node.left), is_target(node.right)
+            if left_t and right_t:
+                contexts.append(USE_EQUALITY_SAME_FIELD)
+            elif left_t or right_t:
+                other = node.right if left_t else node.left
+                if is_target(other):
+                    contexts.append(USE_EQUALITY_SAME_FIELD)
+                else:
+                    contexts.append(USE_EQUALITY_CONST)
+                # Still recurse into the non-target side for nested uses.
+                walk(other)
+                return
+        if is_target(node):
+            contexts.append(USE_OTHER)
+            return
+        for child in node.children():
+            walk(child)
+
+    # Top-level: the whole expression *being* the field is handled by the
+    # caller (emit-key position); here we only classify interior uses.
+    if is_target(root):
+        return contexts
+    walk(root)
+    return contexts
+
+
+def find_direct_operation(
+    lowered: LoweredFunction,
+    resolver: SymbolicResolver,
+    value_schema: Optional[Schema],
+    reduce_leaks_key: bool,
+    output_sort_required: bool,
+) -> Tuple[List[DirectOperationDescriptor], List[str]]:
+    """Direct-operation detection; returns (descriptors, notes)."""
+    if value_schema is None:
+        return [], ["no value schema metadata available for this input"]
+    if not value_schema.transparent:
+        return [], [
+            f"value schema {value_schema.name!r} uses custom opaque "
+            "serialization"
+        ]
+    string_fields = [
+        f.name for f in value_schema.fields if f.ftype is FieldType.STRING
+    ]
+    if not string_fields:
+        return [], ["the value schema has no string fields to compress"]
+
+    emits = lowered.emit_statements()
+    if not emits:
+        return [], ["mapper never emits"]
+
+    # Resolve every expression context once.
+    emit_keys: List[SymExpr] = []
+    other_exprs: List[SymExpr] = []
+    for emit in emits:
+        emit_keys.append(resolver.resolve_at_stmt(emit, emit.key))
+        other_exprs.append(resolver.resolve_at_stmt(emit, emit.value))
+    cfg = lowered.cfg
+    for block in cfg.blocks.values():
+        term = block.terminator
+        if hasattr(term, "cond"):
+            other_exprs.append(
+                resolver.resolve_at_block_end(block.block_id, term.cond)
+            )
+
+    notes: List[str] = []
+    found: List[DirectOperationDescriptor] = []
+    for field_name in string_fields:
+        uses: List[str] = []
+        ok = True
+        for key_sym in emit_keys:
+            if (
+                isinstance(key_sym, SParamField)
+                and key_sym.role == ROLE_VALUE
+                and key_sym.path == (field_name,)
+            ):
+                uses.append(USE_EMIT_KEY)
+            else:
+                uses.extend(_field_use_contexts(key_sym, field_name))
+        for sym in other_exprs:
+            uses.extend(_field_use_contexts(sym, field_name))
+
+        if not uses:
+            notes.append(f"field {field_name!r}: never used by the mapper")
+            continue
+        for use in uses:
+            if use == USE_OTHER:
+                notes.append(
+                    f"field {field_name!r}: used outside equality tests"
+                )
+                ok = False
+                break
+            if use == USE_EQUALITY_CONST:
+                notes.append(
+                    f"field {field_name!r}: compared against a program "
+                    "constant, which cannot be re-encoded without modifying "
+                    "user code (stricter than the paper; see DESIGN.md)"
+                )
+                ok = False
+                break
+            if use == USE_EMIT_KEY:
+                if output_sort_required:
+                    notes.append(
+                        f"field {field_name!r}: used as map output key but "
+                        "the job requires sorted final output"
+                    )
+                    ok = False
+                    break
+                if reduce_leaks_key:
+                    notes.append(
+                        f"field {field_name!r}: used as map output key and "
+                        "the reducer emits data derived from its key"
+                    )
+                    ok = False
+                    break
+        if ok:
+            found.append(
+                DirectOperationDescriptor(field_name=field_name,
+                                          uses=sorted(set(uses)))
+            )
+    return found, notes

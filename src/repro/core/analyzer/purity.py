@@ -1,0 +1,115 @@
+"""The analyzer's built-in knowledge of pure operations.
+
+``isFunc`` (paper Section 3.2) requires that a use-def DAG contain "no
+calls to methods which themselves may not be functional in terms of their
+inputs"; to decide that, "the analyzer has built-in knowledge of standard
+language operations and some common class library methods, such as those
+associated with String, Pattern, etc."
+
+This module is that knowledge base.  It is deliberately *incomplete* in the
+same way the paper's is: there is no model of hash tables (``dict`` /
+``set`` methods), which is exactly why Benchmark 4's selection goes
+undetected ("the current version of Manimal does not have builtin
+knowledge of how Hashtable works").  The paper notes that "adding custom
+handling of it would not be unreasonable" -- :meth:`KnowledgeBase.extended`
+provides that extension point, used by the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Callable, Dict, FrozenSet, Optional
+
+#: Methods assumed pure when receiver and arguments are pure.  These mirror
+#: the paper's String/Pattern built-ins, translated to Python's str and
+#: re.Pattern/re.Match method surface.
+PURE_METHODS: FrozenSet[str] = frozenset({
+    # str
+    "startswith", "endswith", "lower", "upper", "strip", "lstrip", "rstrip",
+    "split", "rsplit", "splitlines", "find", "rfind", "replace", "count",
+    "join", "format", "encode", "decode", "isdigit", "isalpha", "isalnum",
+    "isspace", "title", "capitalize", "casefold", "zfill", "ljust", "rjust",
+    "partition", "rpartition", "removeprefix", "removesuffix", "index",
+    # re.Pattern
+    "match", "search", "fullmatch", "findall", "finditer",
+    # re.Match
+    "group", "groups", "groupdict", "start", "end", "span",
+    # numbers
+    "bit_length", "is_integer", "as_integer_ratio",
+})
+
+#: Plain/dotted function names assumed pure.
+PURE_FUNCTIONS: FrozenSet[str] = frozenset({
+    "len", "abs", "min", "max", "int", "float", "str", "bool", "round",
+    "ord", "chr", "tuple", "sum", "sorted", "repr", "divmod", "pow",
+    "math.sqrt", "math.floor", "math.ceil", "math.log", "math.log2",
+    "math.log10", "math.exp", "math.pow", "math.fabs", "math.trunc",
+    "re.match", "re.search", "re.fullmatch", "re.findall", "re.escape",
+    "re.split", "re.sub", "re.compile",
+    # synthetic: lowered f-strings are pure formatting
+    "__fstring__",
+})
+
+#: dict/set knowledge -- OFF by default (the Benchmark 4 gap); switched on
+#: by `KnowledgeBase.with_hashtable_support()` for the ablation experiment.
+HASHTABLE_METHODS: FrozenSet[str] = frozenset({
+    "get", "keys", "values", "items", "__contains__",
+})
+
+#: Runtime implementations for pure *functions*, used when the optimizer
+#: compiles a residual predicate out of a selection formula.  Methods need
+#: no table -- they dispatch through ``getattr`` on the receiver value.
+PURE_FUNCTION_IMPLS: Dict[str, Callable[..., Any]] = {
+    "len": len, "abs": abs, "min": min, "max": max, "int": int,
+    "float": float, "str": str, "bool": bool, "round": round, "ord": ord,
+    "chr": chr, "tuple": tuple, "sum": sum, "sorted": sorted, "repr": repr,
+    "divmod": divmod, "pow": pow,
+    "math.sqrt": math.sqrt, "math.floor": math.floor, "math.ceil": math.ceil,
+    "math.log": math.log, "math.log2": math.log2, "math.log10": math.log10,
+    "math.exp": math.exp, "math.pow": math.pow, "math.fabs": math.fabs,
+    "math.trunc": math.trunc,
+    "re.match": re.match, "re.search": re.search, "re.fullmatch": re.fullmatch,
+    "re.findall": re.findall, "re.escape": re.escape, "re.split": re.split,
+    "re.sub": re.sub, "re.compile": re.compile,
+    "__fstring__": lambda *parts: "".join(str(p) for p in parts),
+}
+
+
+class KnowledgeBase:
+    """Queryable purity knowledge, with extension for ablations."""
+
+    def __init__(
+        self,
+        pure_methods: FrozenSet[str] = PURE_METHODS,
+        pure_functions: FrozenSet[str] = PURE_FUNCTIONS,
+    ):
+        self._methods = pure_methods
+        self._functions = pure_functions
+
+    def is_pure_method(self, name: str) -> bool:
+        return name in self._methods
+
+    def is_pure_function(self, name: str) -> bool:
+        return name in self._functions
+
+    def function_impl(self, name: str) -> Optional[Callable[..., Any]]:
+        return PURE_FUNCTION_IMPLS.get(name)
+
+    def extended(self, methods: FrozenSet[str] = frozenset(),
+                 functions: FrozenSet[str] = frozenset()) -> "KnowledgeBase":
+        """A copy of this KB with additional pure methods/functions."""
+        return KnowledgeBase(self._methods | methods,
+                             self._functions | functions)
+
+    def with_hashtable_support(self) -> "KnowledgeBase":
+        """The paper's suggested fix for Benchmark 4: model hash tables."""
+        return self.extended(methods=HASHTABLE_METHODS,
+                             functions=frozenset({"dict", "set", "frozenset"}))
+
+
+#: The default knowledge base (paper-equivalent coverage).
+DEFAULT_KB = KnowledgeBase()
+
+#: An empty knowledge base, for the recall-collapse ablation.
+EMPTY_KB = KnowledgeBase(frozenset(), frozenset())

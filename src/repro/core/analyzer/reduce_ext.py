@@ -1,0 +1,167 @@
+"""Appendix E extension: reduce-side GROUPBY/WHERE analysis.
+
+Paper Appendix E: "the combined map-shuffle-reduce sequence is akin to a
+GROUPBY query, with the map's output key as the GROUPBY value.  When
+results from the reduce function are filtered with a conditional clause,
+the user's program resembles a GROUPBY with a WHERE clause.  If we could
+accurately predict which temporary map outputs will be removed by the
+WHERE-related filtering clause inside reduce, then we could delete this
+temporary data prior to shuffle-reduce without any impact on final program
+output.  We have implemented some infrastructure to perform these
+optimizations..."
+
+This module is that infrastructure: it analyzes ``reduce()`` with the same
+CFG/use-def machinery as ``findSelect`` and extracts a formula over the
+*group key alone* that is true whenever the reducer may emit.  Groups whose
+key fails the formula can be dropped before the shuffle -- their values
+never influence output.
+
+Safety conditions (all conservative):
+
+* every emit in ``reduce()`` sits behind conditions that are functional
+  and depend **only on the key parameter** (a condition touching the
+  values iterable, members, or the context disqualifies the group filter
+  -- e.g. ``if sum(values) > 10`` cannot be decided before the shuffle);
+* the formula must not be trivially true (no filtering to exploit);
+* the reducer must not emit from ``setup``/``cleanup``.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import List, Optional, Tuple
+
+from repro.core.analyzer.conditions import (
+    Conjunct,
+    MemberEnv,
+    ROLE_KEY,
+    ROLE_VALUE,
+    SelectionFormula,
+    SymbolicResolver,
+    conjunction_dnf,
+    negate,
+)
+from repro.core.analyzer.dataflow import ReachingDefinitions
+from repro.core.analyzer.lowering import lower_function
+from repro.core.analyzer.purity import DEFAULT_KB, KnowledgeBase
+from repro.exceptions import UnsupportedConstructError
+from repro.mapreduce.api import Reducer
+
+
+class GroupKeyFilter:
+    """A provably safe pre-shuffle group filter."""
+
+    def __init__(self, formula: SelectionFormula):
+        self.formula = formula
+
+    def __call__(self, key) -> bool:
+        """Whether a group with this key can possibly produce output."""
+        return self.formula.evaluate(key, None)
+
+    def __repr__(self) -> str:
+        return f"GroupKeyFilter({self.formula!r})"
+
+
+def _depends_only_on_key(sym) -> bool:
+    roles = {role for role, _ in sym.field_refs()}
+    roles |= sym.whole_param_roles()
+    return ROLE_VALUE not in roles
+
+
+def find_reduce_key_filter(
+    reducer: Reducer,
+    kb: KnowledgeBase = DEFAULT_KB,
+) -> Tuple[Optional[GroupKeyFilter], List[str]]:
+    """Analyze a reducer for a key-only WHERE clause.
+
+    Returns ``(filter or None, notes)``; notes explain refusals, matching
+    the analyzer's evidence-trail convention.
+    """
+    notes: List[str] = []
+    cls = type(reducer)
+
+    for lifecycle in ("setup", "cleanup"):
+        method = getattr(cls, lifecycle, None)
+        base = getattr(Reducer, lifecycle, None)
+        if method is not None and method is not base:
+            try:
+                source = textwrap.dedent(inspect.getsource(method))
+            except (OSError, TypeError):
+                return None, [f"{lifecycle}() source unavailable"]
+            if ".emit(" in source or "emit (" in source:
+                return None, [
+                    f"reducer emits from {lifecycle}(); group output is "
+                    "not per-key decidable"
+                ]
+
+    try:
+        source = textwrap.dedent(inspect.getsource(cls.reduce))
+        tree = ast.parse(source)
+        fn = tree.body[0]
+        lowered = lower_function(fn, is_method=True)
+    except (OSError, TypeError) as exc:
+        return None, [f"reducer source unavailable: {exc}"]
+    except UnsupportedConstructError as exc:
+        return None, [f"reducer not analyzable: {exc}"]
+
+    emits = lowered.emit_statements()
+    if not emits:
+        return None, ["reducer never emits"]
+
+    cfg = lowered.cfg
+    rd = ReachingDefinitions(cfg)
+    members = MemberEnv(
+        values={
+            k: v
+            for klass in reversed(cls.__mro__)
+            for k, v in vars(klass).items()
+            if not k.startswith("__") and not callable(v)
+        },
+        mutated=set(),  # conservative default; mutations surface as opaque
+    )
+    resolver = SymbolicResolver(lowered, rd, kb, members)
+
+    disjuncts: List[Conjunct] = []
+    for emit in emits:
+        block_id = cfg.statement_block(emit)
+        assert block_id is not None
+        paths = cfg.paths_to_block(block_id)
+        if paths is None:
+            # Emits inside the values loop: reached for every group that
+            # enters the loop at all -- treat as "may always emit" unless
+            # loop entry itself is key-guarded.  Conservative: refuse.
+            return None, [
+                "emit is reachable through a loop; per-group output is "
+                "not statically decidable"
+            ]
+        for path in paths:
+            terms = []
+            for branch_block, cond_expr, polarity in path:
+                sym = resolver.resolve_at_block_end(branch_block, cond_expr)
+                if not sym.is_functional():
+                    return None, [
+                        "reduce condition is not functional: "
+                        + "; ".join(sym.opaque_reasons())
+                    ]
+                if not _depends_only_on_key(sym):
+                    return None, [
+                        "reduce condition depends on the group's values, "
+                        "which are unavailable before the shuffle"
+                    ]
+                terms.append(sym if polarity else negate(sym))
+            for conjunction in conjunction_dnf(terms):
+                disjuncts.append(Conjunct(conjunction))
+
+    seen = set()
+    unique = []
+    for disjunct in disjuncts:
+        fp = repr(disjunct)
+        if fp not in seen:
+            seen.add(fp)
+            unique.append(disjunct)
+    formula = SelectionFormula(unique)
+    if formula.is_trivially_true():
+        return None, ["reducer may emit for any key; no WHERE clause found"]
+    return GroupKeyFilter(formula), notes

@@ -1,0 +1,101 @@
+"""``findSelect`` -- selection detection (paper Fig. 3).
+
+For every emit statement, enumerate the CFG paths that reach it; each path
+contributes one DNF disjunct: the conjunction of branch conditions (with
+polarity) along the path.  The formula is returned only if *every*
+condition -- and, additionally in this reproduction, every emitted key and
+value expression -- passes the ``isFunc`` test, so that skipping
+non-matching records provably cannot change program output.
+
+Conservative bail-outs (each recorded as a note for the recall report):
+
+* the mapper never emits, or always emits on some path (no selection),
+* the CFG contains a loop on a route to an emit (the paper's analyzer
+  likewise handles straight-line data-centric idioms),
+* any path condition or emit argument is non-functional (member state,
+  context reads, unknown calls -- the Fig. 2 and Benchmark 4 situations).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.analyzer.conditions import (
+    Conjunct,
+    SelectionFormula,
+    SymbolicResolver,
+    conjunction_dnf,
+    negate,
+)
+from repro.core.analyzer.lowering import LoweredFunction
+
+
+def find_select(
+    lowered: LoweredFunction,
+    resolver: SymbolicResolver,
+) -> Tuple[Optional[SelectionFormula], List[str]]:
+    """Run selection detection; returns (formula or None, notes)."""
+    notes: List[str] = []
+    emits = lowered.emit_statements()
+    if not emits:
+        return None, ["mapper never emits (nothing to select)"]
+    cfg = lowered.cfg
+
+    disjuncts: List[Conjunct] = []
+    all_functional = True
+
+    for emit in emits:
+        block_id = cfg.statement_block(emit)
+        assert block_id is not None
+        paths = cfg.paths_to_block(block_id)
+        if paths is None:
+            return None, [
+                "control flow contains a loop on a path to emit(); "
+                "selection analysis requires enumerable paths"
+            ]
+
+        # isFunc on the emitted key/value: output must be entirely
+        # determined by the input record for skipping to be safe.
+        for label, expr in (("key", emit.key), ("value", emit.value)):
+            sym = resolver.resolve_at_stmt(emit, expr)
+            if not sym.is_functional():
+                all_functional = False
+                for reason in sym.opaque_reasons():
+                    notes.append(f"emit {label} is not functional: {reason}")
+
+        for path in paths:
+            terms = []
+            for branch_block, cond_expr, polarity in path:
+                sym = resolver.resolve_at_block_end(branch_block, cond_expr)
+                if not sym.is_functional():
+                    all_functional = False
+                    for reason in sym.opaque_reasons():
+                        notes.append(
+                            f"path condition is not functional: {reason}"
+                        )
+                terms.append(sym if polarity else negate(sym))
+            # One CFG path may still hide alternatives inside compound
+            # boolean conditions; normalize to true DNF so each
+            # alternative becomes its own disjunct (paper Fig. 3 shape).
+            for conjunction in conjunction_dnf(terms):
+                disjuncts.append(Conjunct(conjunction))
+
+    if not all_functional:
+        # Fig. 3 line 12: "if allFunc return dnf else return {}".
+        return None, notes
+
+    deduped: List[Conjunct] = []
+    seen = set()
+    for disjunct in disjuncts:
+        fingerprint = repr(disjunct)
+        if fingerprint not in seen:
+            seen.add(fingerprint)
+            deduped.append(disjunct)
+
+    formula = SelectionFormula(deduped)
+    if formula.is_trivially_true():
+        return None, [
+            "some path emits unconditionally; the selection formula is "
+            "trivially true (no filtering to exploit)"
+        ]
+    return formula, notes

@@ -1,0 +1,111 @@
+"""Side-effect detection.
+
+"Anything that does not impact the program's final output is fair game for
+the analyzer to consider for downstream removal or modification, including
+code that has side effects such as debugging statements, network
+connections, and file-writes.  Manimal can currently detect, though not
+optimize, such side effects" (paper Section 2.2).
+
+The detector classifies mapper statements that affect state outside the
+emit stream.  Detection feeds two consumers: the analysis report (so a
+human can see what a selection index would skip), and the hypothetical
+"safe mode" the paper footnotes, in which jobs with side effects would not
+be selection-optimized.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.analyzer import ir
+from repro.core.analyzer.lowering import LoweredFunction
+from repro.core.analyzer.descriptors import SideEffect
+
+CATEGORY_PRINT = "print"
+CATEGORY_FILE_IO = "file-io"
+CATEGORY_COUNTER = "counter"
+CATEGORY_MEMBER_MUTATION = "member-mutation"
+CATEGORY_CONTAINER_MUTATION = "container-mutation"
+CATEGORY_UNKNOWN_CALL = "unknown-call"
+
+_FILE_IO_FUNCTIONS = {"open"}
+_FILE_IO_METHODS = {"write", "writelines", "flush"}
+_MUTATING_METHODS = {
+    "append", "extend", "insert", "remove", "pop", "clear", "update",
+    "add", "discard", "setdefault", "popitem", "sort", "reverse",
+}
+
+
+def _call_effects(expr: ir.Expr, lineno: int, ctx_name: str) -> List[SideEffect]:
+    """Side effects arising from call expressions anywhere in ``expr``."""
+    out: List[SideEffect] = []
+    stack: List[ir.Expr] = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ir.FuncCall):
+            if node.func == "print":
+                out.append(SideEffect(CATEGORY_PRINT, lineno, "print(...)"))
+            elif node.func in _FILE_IO_FUNCTIONS:
+                out.append(SideEffect(CATEGORY_FILE_IO, lineno,
+                                      f"{node.func}(...)"))
+        elif isinstance(node, ir.MethodCall):
+            receiver = node.obj
+            recv_is_ctx = (
+                isinstance(receiver, ir.VarRef) and receiver.name == ctx_name
+            )
+            if recv_is_ctx and node.method == "increment":
+                out.append(SideEffect(CATEGORY_COUNTER, lineno,
+                                      "ctx.increment(...)"))
+            elif node.method in _FILE_IO_METHODS:
+                out.append(SideEffect(CATEGORY_FILE_IO, lineno,
+                                      f".{node.method}(...)"))
+            elif node.method in _MUTATING_METHODS:
+                out.append(SideEffect(CATEGORY_CONTAINER_MUTATION, lineno,
+                                      f".{node.method}(...)"))
+        stack.extend(node.children())
+    return out
+
+
+def find_side_effects(lowered: LoweredFunction) -> List[SideEffect]:
+    """Scan the lowered mapper for externally visible effects."""
+    effects: List[SideEffect] = []
+    ctx_name = lowered.roles.ctx_name
+    self_name = lowered.roles.self_name
+    for stmt in lowered.cfg.all_statements():
+        if isinstance(stmt, ir.Emit):
+            continue
+        if isinstance(stmt, ir.AttrAssign):
+            target = "?"
+            if isinstance(stmt.obj, ir.VarRef):
+                target = stmt.obj.name
+            if target == self_name:
+                effects.append(
+                    SideEffect(CATEGORY_MEMBER_MUTATION, stmt.lineno,
+                               f"self.{stmt.attr} = ...")
+                )
+            else:
+                effects.append(
+                    SideEffect(CATEGORY_CONTAINER_MUTATION, stmt.lineno,
+                               f"{target}.{stmt.attr} = ...")
+                )
+            effects.extend(_call_effects(stmt.expr, stmt.lineno, ctx_name))
+        elif isinstance(stmt, ir.SubscriptAssign):
+            effects.append(
+                SideEffect(CATEGORY_CONTAINER_MUTATION, stmt.lineno,
+                           "subscript store")
+            )
+            effects.extend(_call_effects(stmt.expr, stmt.lineno, ctx_name))
+        elif isinstance(stmt, ir.ExprStmt):
+            found = _call_effects(stmt.expr, stmt.lineno, ctx_name)
+            if found:
+                effects.extend(found)
+            elif isinstance(stmt.expr, (ir.FuncCall, ir.MethodCall)):
+                effects.append(
+                    SideEffect(CATEGORY_UNKNOWN_CALL, stmt.lineno,
+                               repr(stmt.expr))
+                )
+        elif isinstance(stmt, (ir.Assign, ir.Return)):
+            expr = stmt.expr
+            if expr is not None:
+                effects.extend(_call_effects(expr, stmt.lineno, ctx_name))
+    return effects

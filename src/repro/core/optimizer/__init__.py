@@ -1,0 +1,53 @@
+"""Manimal's optimizer: catalog, index generation, and plan selection."""
+
+from repro.core.optimizer.catalog import (
+    ALL_KINDS,
+    Catalog,
+    IndexEntry,
+    KIND_DELTA,
+    KIND_DICTIONARY,
+    KIND_PROJECTION,
+    KIND_PROJECTION_DELTA,
+    KIND_SELECTION,
+    KIND_SELECTION_PROJECTION,
+)
+from repro.core.optimizer.indexgen import (
+    IndexGenerationProgram,
+    synthesize_program,
+)
+from repro.core.optimizer.costbased import CostBasedOptimizer
+from repro.core.optimizer.planner import (
+    ExecutionDescriptor,
+    InputPlan,
+    Optimizer,
+    RANKING,
+)
+from repro.core.optimizer.predicates import (
+    IndexableSelection,
+    Interval,
+    compile_selection,
+    merge_intervals,
+)
+
+__all__ = [
+    "ALL_KINDS",
+    "Catalog",
+    "CostBasedOptimizer",
+    "ExecutionDescriptor",
+    "IndexEntry",
+    "IndexGenerationProgram",
+    "IndexableSelection",
+    "InputPlan",
+    "Interval",
+    "KIND_DELTA",
+    "KIND_DICTIONARY",
+    "KIND_PROJECTION",
+    "KIND_PROJECTION_DELTA",
+    "KIND_SELECTION",
+    "KIND_SELECTION_PROJECTION",
+    "Optimizer",
+    "RANKING",
+    "compile_selection",
+    "merge_intervals",
+    "synthesize_program",
+]

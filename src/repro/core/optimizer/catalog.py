@@ -1,0 +1,222 @@
+"""The Manimal catalog: a filesystem registry of precomputed indexes.
+
+"Each run of an index generation program is tracked in the filesystem
+catalog" (paper Section 2.2).  The optimizer consults this registry to
+decide which indexed version of a job's input, if any, can serve a new
+submission.
+
+The catalog is a directory holding ``catalog.json`` plus the index files
+themselves.  Entries record enough metadata for applicability checks
+(source file, index kind, indexed field, kept fields, delta fields) and
+for the experiments' space-overhead accounting (byte sizes).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.exceptions import CatalogError
+
+#: Index kinds, ordered here for reference; planner ranking lives in
+#: :mod:`repro.core.optimizer.planner`.
+KIND_SELECTION = "selection"
+KIND_SELECTION_PROJECTION = "selection+projection"
+KIND_PROJECTION = "projection"
+KIND_PROJECTION_DELTA = "projection+delta"
+KIND_DELTA = "delta"
+KIND_DICTIONARY = "dictionary"
+
+ALL_KINDS = (
+    KIND_SELECTION,
+    KIND_SELECTION_PROJECTION,
+    KIND_PROJECTION,
+    KIND_PROJECTION_DELTA,
+    KIND_DELTA,
+    KIND_DICTIONARY,
+)
+
+
+@dataclass
+class IndexEntry:
+    """One registered index."""
+
+    index_id: str
+    kind: str
+    source_path: str
+    index_path: str
+    #: field the B+Tree is keyed on (selection kinds)
+    key_field: Optional[str] = None
+    #: value fields physically present (projection kinds); None = all
+    value_fields: Optional[List[str]] = None
+    #: fields stored as deltas (delta kinds)
+    delta_fields: Optional[List[str]] = None
+    #: dictionary-compressed field (dictionary kind)
+    dict_field: Optional[str] = None
+    #: byte/record statistics for reporting
+    stats: Dict[str, Any] = field(default_factory=dict)
+    #: logical-clock timestamp of the last plan that used this index
+    #: (drives budget eviction; 0 = never used)
+    last_used: int = 0
+    #: how many plans have used this index
+    use_count: int = 0
+
+    def space_overhead(self) -> Optional[float]:
+        """Index size as a fraction of the source file size."""
+        src = self.stats.get("source_bytes")
+        idx = self.stats.get("index_bytes")
+        if not src or idx is None:
+            return None
+        return idx / src
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "IndexEntry":
+        return cls(**data)
+
+
+class Catalog:
+    """Load/store index entries under a catalog directory.
+
+    ``space_budget_bytes`` caps the total size of registered index files
+    (paper Section 2.2: which index to keep "depends partially on the
+    system's index space budget").  When a new registration would exceed
+    the budget, least-recently-used indexes are evicted (their files
+    deleted) until it fits; an index larger than the whole budget is
+    refused outright.
+    """
+
+    FILENAME = "catalog.json"
+
+    def __init__(self, directory: str,
+                 space_budget_bytes: Optional[int] = None):
+        self.directory = directory
+        self.space_budget_bytes = space_budget_bytes
+        os.makedirs(directory, exist_ok=True)
+        self._path = os.path.join(directory, self.FILENAME)
+        self._entries: Dict[str, IndexEntry] = {}
+        self._counter = 0
+        self._clock = 0
+        if os.path.exists(self._path):
+            self._load()
+
+    def _load(self) -> None:
+        try:
+            with open(self._path, "r", encoding="utf-8") as f:
+                data = json.load(f)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CatalogError(f"unreadable catalog {self._path}: {exc}") from exc
+        self._counter = data.get("counter", 0)
+        self._clock = data.get("clock", 0)
+        for raw in data.get("entries", []):
+            entry = IndexEntry.from_dict(raw)
+            self._entries[entry.index_id] = entry
+
+    def _save(self) -> None:
+        data = {
+            "counter": self._counter,
+            "clock": self._clock,
+            "entries": [e.to_dict() for e in self.sorted_entries()],
+        }
+        tmp = self._path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump(data, f, indent=2, sort_keys=True)
+        os.replace(tmp, self._path)
+
+    # -- mutation ------------------------------------------------------------
+
+    def next_index_path(self, kind: str) -> str:
+        """Allocate a fresh path for a new index file."""
+        self._counter += 1
+        safe_kind = kind.replace("+", "_")
+        return os.path.join(self.directory, f"idx_{self._counter:05d}_{safe_kind}")
+
+    def register(self, entry: IndexEntry) -> None:
+        if entry.kind not in ALL_KINDS:
+            raise CatalogError(f"unknown index kind {entry.kind!r}")
+        if entry.index_id in self._entries:
+            raise CatalogError(f"duplicate index id {entry.index_id!r}")
+        incoming = int(entry.stats.get("index_bytes", 0))
+        if self.space_budget_bytes is not None:
+            if incoming > self.space_budget_bytes:
+                raise CatalogError(
+                    f"index {entry.index_id!r} ({incoming} bytes) exceeds "
+                    f"the catalog space budget ({self.space_budget_bytes})"
+                )
+            self._evict_to_fit(incoming)
+        self._entries[entry.index_id] = entry
+        self._save()
+
+    def _evict_to_fit(self, incoming: int) -> List[IndexEntry]:
+        """Drop least-recently-used indexes until ``incoming`` bytes fit."""
+        evicted: List[IndexEntry] = []
+        assert self.space_budget_bytes is not None
+        while (self.total_index_bytes() + incoming > self.space_budget_bytes
+               and self._entries):
+            victim = min(
+                self._entries.values(),
+                key=lambda e: (e.last_used, e.index_id),
+            )
+            evicted.append(victim)
+            del self._entries[victim.index_id]
+            try:
+                os.remove(victim.index_path)
+            except OSError:
+                pass
+        if evicted:
+            self._save()
+        return evicted
+
+    def total_index_bytes(self) -> int:
+        return sum(int(e.stats.get("index_bytes", 0))
+                   for e in self._entries.values())
+
+    def touch(self, index_id: str) -> None:
+        """Record a plan using this index (feeds LRU eviction)."""
+        entry = self._entries.get(index_id)
+        if entry is None:
+            return
+        self._clock += 1
+        entry.last_used = self._clock
+        entry.use_count += 1
+        self._save()
+
+    def make_entry_id(self) -> str:
+        self._counter += 1
+        return f"index-{self._counter:05d}"
+
+    def remove(self, index_id: str) -> None:
+        entry = self._entries.pop(index_id, None)
+        if entry is None:
+            raise CatalogError(f"no index {index_id!r}")
+        self._save()
+
+    # -- queries ----------------------------------------------------------------
+
+    def sorted_entries(self) -> List[IndexEntry]:
+        return [self._entries[k] for k in sorted(self._entries)]
+
+    def entries_for(self, source_path: str,
+                    kind: Optional[str] = None) -> List[IndexEntry]:
+        """All (optionally kind-filtered) indexes over one source file."""
+        source = os.path.abspath(source_path)
+        out = [
+            e
+            for e in self.sorted_entries()
+            if os.path.abspath(e.source_path) == source
+            and (kind is None or e.kind == kind)
+        ]
+        return out
+
+    def get(self, index_id: str) -> IndexEntry:
+        entry = self._entries.get(index_id)
+        if entry is None:
+            raise CatalogError(f"no index {index_id!r}")
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)

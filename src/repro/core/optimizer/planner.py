@@ -1,0 +1,261 @@
+"""The Manimal optimizer: choosing an execution plan.
+
+"The optimizer examines the descriptors, the user's input file, and the
+catalog to choose the most efficient execution plan currently possible.
+The resulting execution descriptor indicates to the final execution fabric
+which index file to use, and which optimizations should be applied"
+(paper Section 2.2).
+
+Planning is rule-based, as in the paper ("solved with simple rule-based
+heuristics ... a simple hard-coded ranking of applicable optimizations"):
+
+1. selection+projection  (most work avoided: skip records AND bytes)
+2. selection
+3. projection+delta
+4. projection
+5. dictionary (direct operation)
+6. delta
+
+with the paper's one conflict rule built in -- selection is favored over
+delta-compression, so the two never combine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.analyzer.descriptors import InputAnalysis, JobAnalysis
+from repro.core.optimizer import catalog as cat
+from repro.core.optimizer.catalog import Catalog, IndexEntry
+from repro.core.optimizer.predicates import compile_selection
+from repro.mapreduce.formats import (
+    DeltaFileInput,
+    DictionaryFileInput,
+    InMemoryInput,
+    InputSource,
+    ProjectedFileInput,
+    RecordFileInput,
+    SelectionIndexInput,
+)
+from repro.mapreduce.job import JobConf
+
+#: Hard-coded applicability ranking (paper Section 2.2).
+RANKING = (
+    cat.KIND_SELECTION_PROJECTION,
+    cat.KIND_SELECTION,
+    cat.KIND_PROJECTION_DELTA,
+    cat.KIND_PROJECTION,
+    cat.KIND_DICTIONARY,
+    cat.KIND_DELTA,
+)
+
+
+@dataclass
+class InputPlan:
+    """Plan for one input: which source actually feeds the map phase."""
+
+    input_index: int
+    original: InputSource
+    chosen: InputSource
+    entry: Optional[IndexEntry] = None
+    optimizations: List[str] = field(default_factory=list)
+    detail: str = ""
+
+    @property
+    def optimized(self) -> bool:
+        return self.entry is not None
+
+    def describe(self) -> str:
+        if not self.optimized:
+            return f"input[{self.input_index}]: unoptimized {self.original.describe()}"
+        return (
+            f"input[{self.input_index}]: {self.entry.kind} via "
+            f"{self.chosen.describe()} ({self.detail})"
+        )
+
+
+@dataclass
+class ExecutionDescriptor:
+    """The optimizer's output: per-input plans for the execution fabric."""
+
+    job_name: str
+    plans: List[InputPlan]
+    #: Appendix E pre-shuffle group filter, when the reduce-side analysis
+    #: found a key-only WHERE clause
+    shuffle_filter: Optional[object] = None
+
+    @property
+    def optimized(self) -> bool:
+        return any(p.optimized for p in self.plans) or \
+            self.shuffle_filter is not None
+
+    def chosen_inputs(self) -> List[InputSource]:
+        return [p.chosen for p in self.plans]
+
+    def optimizations(self) -> List[str]:
+        out: List[str] = []
+        for plan in self.plans:
+            out.extend(plan.optimizations)
+        return out
+
+    def describe(self) -> str:
+        lines = [f"execution descriptor for job {self.job_name!r}:"]
+        lines += [f"  {p.describe()}" for p in self.plans]
+        if self.shuffle_filter is not None:
+            lines.append(f"  pre-shuffle group filter: {self.shuffle_filter!r}")
+        return "\n".join(lines)
+
+
+class Optimizer:
+    """Rule-based plan selection over the index catalog."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    def plan(self, conf: JobConf, analysis: JobAnalysis) -> ExecutionDescriptor:
+        plans: List[InputPlan] = []
+        for index, (source, ia) in enumerate(zip(conf.inputs, analysis.inputs)):
+            plan = self._plan_input(index, source, ia)
+            if plan.entry is not None:
+                # Record usage: feeds the space budget's LRU eviction.
+                self.catalog.touch(plan.entry.index_id)
+            plans.append(plan)
+        return ExecutionDescriptor(
+            job_name=conf.name,
+            plans=plans,
+            shuffle_filter=analysis.reduce_key_filter,
+        )
+
+    def _plan_input(self, index: int, source: InputSource,
+                    ia: InputAnalysis) -> InputPlan:
+        unoptimized = InputPlan(
+            input_index=index, original=source, chosen=source
+        )
+        # Only plain record-file scans can be redirected at an index; jobs
+        # already reading an optimized format pass through untouched.
+        if type(source) is not RecordFileInput:
+            unoptimized.detail = "input is not a plain record-file scan"
+            return unoptimized
+        if not self.catalog.entries_for(source.path):
+            unoptimized.detail = "no indexes in catalog for this input"
+            return unoptimized
+        chosen = self._choose(index, source, ia)
+        if chosen is not None:
+            return chosen
+        unoptimized.detail = "no catalog index is applicable to this program"
+        return unoptimized
+
+    def applicable_plans(self, index: int, source: RecordFileInput,
+                         ia: InputAnalysis) -> List[InputPlan]:
+        """Every applicable (index, input-format) plan, in ranking order."""
+        plans: List[InputPlan] = []
+        candidates = self.catalog.entries_for(source.path)
+        for kind in RANKING:
+            for entry in candidates:
+                if entry.kind != kind:
+                    continue
+                plan = self._try_apply(index, source, ia, entry)
+                if plan is not None:
+                    plans.append(plan)
+        return plans
+
+    def _choose(self, index: int, source: RecordFileInput,
+                ia: InputAnalysis) -> Optional[InputPlan]:
+        """Pick among applicable plans; the base class takes the
+        hard-coded ranking's first hit (paper Section 2.2)."""
+        plans = self.applicable_plans(index, source, ia)
+        return plans[0] if plans else None
+
+    # -- applicability ----------------------------------------------------------
+
+    def _try_apply(self, index: int, source: RecordFileInput,
+                   ia: InputAnalysis, entry: IndexEntry) -> Optional[InputPlan]:
+        kind = entry.kind
+        if kind in (cat.KIND_SELECTION, cat.KIND_SELECTION_PROJECTION):
+            return self._apply_selection(index, source, ia, entry)
+        if kind in (cat.KIND_PROJECTION, cat.KIND_PROJECTION_DELTA):
+            if ia.projection is None or entry.value_fields is None:
+                return None
+            needed = set(ia.projection.used_value_fields)
+            if not needed <= set(entry.value_fields):
+                return None
+            chosen_cls = (
+                ProjectedFileInput if kind == cat.KIND_PROJECTION
+                else DeltaFileInput
+            )
+            chosen = chosen_cls(entry.index_path, tag=source.tag)
+            return InputPlan(
+                input_index=index,
+                original=source,
+                chosen=chosen,
+                entry=entry,
+                optimizations=[kind],
+                detail=f"kept fields {entry.value_fields}",
+            )
+        if kind == cat.KIND_DICTIONARY:
+            if not any(d.field_name == entry.dict_field for d in ia.direct):
+                return None
+            return InputPlan(
+                input_index=index,
+                original=source,
+                chosen=DictionaryFileInput(entry.index_path, tag=source.tag),
+                entry=entry,
+                optimizations=[kind],
+                detail=f"direct operation on {entry.dict_field!r}",
+            )
+        if kind == cat.KIND_DELTA:
+            # Reading a delta file reconstructs identical records, so this
+            # is behavior-preserving for any program over the same source.
+            return InputPlan(
+                input_index=index,
+                original=source,
+                chosen=DeltaFileInput(entry.index_path, tag=source.tag),
+                entry=entry,
+                optimizations=[kind],
+                detail=f"delta fields {entry.delta_fields}",
+            )
+        return None
+
+    def _apply_selection(self, index: int, source: RecordFileInput,
+                         ia: InputAnalysis,
+                         entry: IndexEntry) -> Optional[InputPlan]:
+        if ia.selection is None or ia.value_schema is None:
+            return None
+        if entry.kind == cat.KIND_SELECTION_PROJECTION:
+            if ia.projection is None or entry.value_fields is None:
+                return None
+            needed = set(ia.projection.used_value_fields)
+            if not needed <= set(entry.value_fields):
+                return None
+        plan = compile_selection(
+            ia.selection.formula, ia.value_schema, field_name=entry.key_field
+        )
+        if plan is None:
+            return None
+        ranges = plan.key_ranges()
+        optimizations = [entry.kind]
+        if not ranges:
+            # The formula is unsatisfiable: provably no record can ever
+            # reach an emit, so the map phase reads nothing at all.
+            chosen: InputSource = InMemoryInput([], tag=source.tag)
+            detail = "selection formula is unsatisfiable; empty input"
+        else:
+            chosen = SelectionIndexInput(
+                entry.index_path,
+                ranges,
+                residual=plan.residual(),
+                tag=source.tag,
+            )
+            detail = (
+                f"B+Tree on {plan.field_name!r}, "
+                f"{len(ranges)} range(s) {plan.intervals}"
+            )
+        return InputPlan(
+            input_index=index,
+            original=source,
+            chosen=chosen,
+            entry=entry,
+            optimizations=optimizations,
+            detail=detail,
+        )

@@ -1,0 +1,145 @@
+"""Chained-job pipelines (paper Appendix E).
+
+"One common form of pipeline is chained MapReduce jobs, in which the
+output of a given job forms the input of a separate job.  One potential
+difficulty is in simply detecting that two jobs are chained together.
+However, assuming we can detect the link, it should be quite possible to
+track relational-style operations across jobs."
+
+This module implements both halves for jobs submitted through this API:
+
+* **link detection** -- stage *j* is linked to stage *i* when one of
+  *j*'s input paths equals *i*'s ``output_path`` (the filesystem is the
+  join point, exactly as on a Hadoop cluster);
+* **cross-stage optimization** -- every stage is analyzed and optimized
+  independently (Manimal as usual), and additionally, intermediate files
+  that feed a *linked* downstream stage are produced with the schemas the
+  downstream stage needs, so downstream analysis sees transparent
+  metadata rather than opaque bytes.
+
+Indexing intermediate files is usually wasted work -- they are the
+paper's "ephemeral read-once data files" -- so by default index builds
+happen only for stage inputs that are *not* produced inside the pipeline.
+Pass ``index_intermediates=True`` to override (useful when a pipeline
+output is consumed by many later stages).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.manimal import Manimal, ManimalResult
+from repro.exceptions import JobConfigError
+from repro.mapreduce.formats import RecordFileInput
+from repro.mapreduce.job import JobConf
+
+
+@dataclass
+class StageOutcome:
+    """One pipeline stage's submission result plus its link metadata."""
+
+    conf: JobConf
+    outcome: ManimalResult
+    #: indexes of earlier stages whose output feeds this stage
+    upstream: List[int] = field(default_factory=list)
+
+
+class ManimalPipeline:
+    """A chain of MapReduce jobs optimized stage by stage."""
+
+    def __init__(self, system: Manimal, stages: List[JobConf],
+                 index_intermediates: bool = False):
+        if not stages:
+            raise JobConfigError("pipeline needs at least one stage")
+        self.system = system
+        self.stages = list(stages)
+        self.index_intermediates = index_intermediates
+        self._links = self._detect_links()
+
+    # -- link detection -----------------------------------------------------
+
+    def _detect_links(self) -> Dict[int, List[int]]:
+        """stage index -> indexes of upstream stages feeding it."""
+        producer_of: Dict[str, int] = {}
+        links: Dict[int, List[int]] = {i: [] for i in range(len(self.stages))}
+        for i, conf in enumerate(self.stages):
+            for j, source in enumerate(conf.inputs):
+                path = getattr(source, "path", None)
+                if path is None:
+                    continue
+                producer = producer_of.get(os.path.abspath(path))
+                if producer is not None:
+                    if producer >= i:
+                        raise JobConfigError(
+                            f"stage {i} consumes output of a later stage "
+                            f"{producer}; pipelines must be acyclic"
+                        )
+                    links[i].append(producer)
+            if conf.output_path is not None:
+                producer_of[os.path.abspath(conf.output_path)] = i
+        return links
+
+    def links(self) -> Dict[int, List[int]]:
+        """The detected chain structure (for inspection/tests)."""
+        return {i: list(ups) for i, ups in self._links.items()}
+
+    def intermediate_paths(self) -> Set[str]:
+        """Paths produced by one stage and consumed by another."""
+        produced = {
+            os.path.abspath(conf.output_path)
+            for conf in self.stages
+            if conf.output_path is not None
+        }
+        consumed: Set[str] = set()
+        for conf in self.stages:
+            for source in conf.inputs:
+                path = getattr(source, "path", None)
+                if path is not None and os.path.abspath(path) in produced:
+                    consumed.add(os.path.abspath(path))
+        return consumed
+
+    # -- execution ------------------------------------------------------------
+
+    def submit(self, build_indexes: bool = False) -> List[StageOutcome]:
+        """Run all stages in order, optimizing each through Manimal.
+
+        ``build_indexes`` applies to stage inputs that come from *outside*
+        the pipeline; intermediate files are indexed only when the
+        pipeline was constructed with ``index_intermediates=True``.
+        """
+        intermediates = self.intermediate_paths()
+        outcomes: List[StageOutcome] = []
+        for i, conf in enumerate(self.stages):
+            if build_indexes:
+                analysis = self.system.analyze(conf)
+                for source, ia in zip(conf.inputs, analysis.inputs):
+                    path = getattr(source, "path", None)
+                    if path is None or type(source) is not RecordFileInput:
+                        continue
+                    is_intermediate = os.path.abspath(path) in intermediates
+                    if is_intermediate and not self.index_intermediates:
+                        continue
+                    single = conf.with_inputs([source])
+                    # Reuse the already computed analysis for this input.
+                    from repro.core.analyzer.descriptors import JobAnalysis
+
+                    sub = JobAnalysis(job_name=conf.name, inputs=[ia])
+                    self.system.build_indexes(single, sub)
+                outcome = self.system.submit(conf, build_indexes=False)
+            else:
+                outcome = self.system.submit(conf, build_indexes=False)
+            outcomes.append(
+                StageOutcome(conf=conf, outcome=outcome,
+                             upstream=list(self._links[i]))
+            )
+        return outcomes
+
+    def describe(self) -> str:
+        lines = ["pipeline:"]
+        for i, conf in enumerate(self.stages):
+            ups = self._links[i]
+            link = f" <- stages {ups}" if ups else ""
+            lines.append(f"  stage {i}: {conf.name}{link}")
+        return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""Human-readable explanation of what Manimal sees in a job.
+
+``explain_job`` runs the analyzer (and, when a catalog is supplied, the
+optimizer) over a job and renders the whole evidence trail: detected
+optimizations, the reasons behind every refusal, side effects, synthesized
+index-generation programs, and the chosen execution plan.  This is the
+operator-facing counterpart of the paper's optimization descriptors --
+useful for understanding *why* a job did or did not speed up.
+
+Example::
+
+    from repro.explain import explain_job
+    print(explain_job(conf, catalog_dir="./catalog"))
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.analyzer import DELTA, DIRECT, PROJECT, SELECT
+from repro.core.analyzer.analyzer import ManimalAnalyzer
+from repro.core.analyzer.descriptors import InputAnalysis
+from repro.core.analyzer.purity import DEFAULT_KB, KnowledgeBase
+from repro.core.manimal import Manimal
+from repro.core.optimizer.indexgen import synthesize_program
+from repro.mapreduce.formats import RecordFileInput
+from repro.mapreduce.job import JobConf
+
+_KIND_TITLES = (
+    (SELECT, "selection", "selection"),
+    (PROJECT, "projection", "projection"),
+    (DELTA, "delta-compression", "delta"),
+    (DIRECT, "direct-operation", "direct"),
+)
+
+
+def _explain_input(ia: InputAnalysis) -> List[str]:
+    label = f"input[{ia.input_index}]"
+    if ia.input_tag:
+        label += f" ({ia.input_tag})"
+    lines = [f"{label}: mapper {ia.mapper_name}"]
+    if ia.value_schema is not None:
+        vis = "transparent" if ia.value_schema.transparent else \
+            "OPAQUE (custom serialization)"
+        lines.append(
+            f"  value schema: {ia.value_schema.name} [{vis}], fields: "
+            f"{', '.join(ia.value_schema.field_names()) or '(hidden)'}"
+        )
+    else:
+        lines.append("  value schema: unknown (no file metadata)")
+
+    for kind, title, attr in _KIND_TITLES:
+        if attr == "direct":
+            found = bool(ia.direct)
+            detail = ", ".join(repr(d) for d in ia.direct)
+        else:
+            descriptor = getattr(ia, attr)
+            found = descriptor is not None
+            detail = repr(descriptor) if found else ""
+        if found:
+            lines.append(f"  [x] {title}: {detail}")
+        else:
+            lines.append(f"  [ ] {title}:")
+            for note in ia.notes.get(kind, ["(no opportunity identified)"]):
+                lines.append(f"        - {note}")
+
+    if ia.side_effects:
+        lines.append("  side effects (detected, not optimized):")
+        for effect in ia.side_effects:
+            lines.append(f"        - {effect!r}")
+    return lines
+
+
+def explain_job(
+    conf: JobConf,
+    catalog_dir: Optional[str] = None,
+    kb: KnowledgeBase = DEFAULT_KB,
+) -> str:
+    """Render the analyzer's (and optionally the optimizer's) verdicts."""
+    lines: List[str] = [f"Manimal analysis of job {conf.name!r}",
+                        "=" * 50]
+    if catalog_dir is not None:
+        system = Manimal(catalog_dir, kb=kb)
+        analysis = system.analyze(conf)
+    else:
+        system = None
+        analysis = ManimalAnalyzer(kb).analyze_job(conf)
+
+    for ia in analysis.inputs:
+        lines.extend(_explain_input(ia))
+        lines.append("")
+
+    lines.append("reduce-side (Appendix E) group filter:")
+    if analysis.reduce_key_filter is not None:
+        lines.append(f"  [x] {analysis.reduce_key_filter!r}")
+    else:
+        for note in analysis.reduce_notes or ["(no reducer analysis)"]:
+            lines.append(f"  [ ] {note}")
+    lines.append("")
+
+    lines.append("index-generation programs (admin may run these):")
+    any_program = False
+    for source, ia in zip(conf.inputs, analysis.inputs):
+        if type(source) is not RecordFileInput:
+            continue
+        program = synthesize_program(ia, source.path)
+        if program is not None:
+            any_program = True
+            lines.append(f"  - {program.describe()}")
+    if not any_program:
+        lines.append("  (none -- nothing indexable was detected)")
+    lines.append("")
+
+    if system is not None:
+        descriptor = system.plan(conf, analysis)
+        lines.append(descriptor.describe())
+    return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""The user-facing MapReduce programming model.
+
+Jobs subclass :class:`Mapper` and :class:`Reducer` and emit key/value pairs
+through the :class:`Context`.  This mirrors the Hadoop API the paper's
+benchmark programs are written against -- the mapper signature
+``map(key, value, ctx)`` is the function the Manimal analyzer inspects.
+
+The model deliberately does **not** require any metadata from the
+programmer: "one of MapReduce's attractions is precisely that it does not
+ask the user for such information" (paper abstract).  All optimization
+hints come from static analysis of the mapper body, never from the API.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.keyspace import stable_hash
+
+
+class Context:
+    """Task-side handle for emitting output and recording counters.
+
+    A fresh context is created per task; the runtime collects
+    ``ctx.emitted`` after the user function returns.
+    """
+
+    def __init__(self, input_tag: Optional[str] = None):
+        self.emitted: List[Tuple[Any, Any]] = []
+        self.counters = Counters()
+        #: Tag of the input source the current record came from.  Join-style
+        #: jobs with several inputs use this to tell their sides apart.
+        self.input_tag = input_tag
+
+    def emit(self, key: Any, value: Any) -> None:
+        """Emit one intermediate or output pair."""
+        self.emitted.append((key, value))
+
+    def increment(self, group: str, name: str, amount: int = 1) -> None:
+        """Increment a job counter."""
+        self.counters.increment(group, name, amount)
+
+
+class Mapper:
+    """Base class for map functions.
+
+    Subclasses override :meth:`map`.  ``setup``/``cleanup`` bracket each
+    map *task* (one per input split), matching Hadoop semantics.
+    """
+
+    def setup(self, ctx: Context) -> None:
+        """Called once per task before the first record."""
+
+    def map(self, key: Any, value: Any, ctx: Context) -> None:
+        """Process one input record.  Override this."""
+        raise NotImplementedError
+
+    def cleanup(self, ctx: Context) -> None:
+        """Called once per task after the last record."""
+
+
+class Reducer:
+    """Base class for reduce functions.
+
+    ``reduce`` receives one key and the full iterable of its values (the
+    runtime has already sorted and grouped the shuffle output).
+    """
+
+    def setup(self, ctx: Context) -> None:
+        """Called once per reduce task before the first group."""
+
+    def reduce(self, key: Any, values: Iterable[Any], ctx: Context) -> None:
+        """Process one key group.  Override this."""
+        raise NotImplementedError
+
+    def cleanup(self, ctx: Context) -> None:
+        """Called once per reduce task after the last group."""
+
+
+class IdentityMapper(Mapper):
+    """Passes records through unchanged."""
+
+    def map(self, key: Any, value: Any, ctx: Context) -> None:
+        ctx.emit(key, value)
+
+
+class IdentityReducer(Reducer):
+    """Emits every value of every group unchanged."""
+
+    def reduce(self, key: Any, values: Iterable[Any], ctx: Context) -> None:
+        for value in values:
+            ctx.emit(key, value)
+
+
+class Partitioner:
+    """Assigns intermediate keys to reduce partitions.
+
+    The default uses a stable content hash so runs are reproducible across
+    interpreter invocations (Python's builtin ``hash`` is randomized for
+    strings).
+    """
+
+    def partition(self, key: Any, num_partitions: int) -> int:
+        return stable_hash(key) % num_partitions
+
+
+class FunctionMapper(Mapper):
+    """Adapter turning a plain function ``f(key, value, ctx)`` into a Mapper.
+
+    Useful in tests and examples.  Note that the analyzer inspects the
+    *wrapped function's* source, so analysis works for these too.
+    """
+
+    def __init__(self, fn: Callable[[Any, Any, Context], None]):
+        self._fn = fn
+
+    def map(self, key: Any, value: Any, ctx: Context) -> None:
+        self._fn(key, value, ctx)
+
+    @property
+    def map_source_function(self) -> Callable:
+        """The function whose body the analyzer should inspect."""
+        return self._fn

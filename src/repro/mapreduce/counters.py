@@ -1,0 +1,50 @@
+"""Hadoop-style job counters.
+
+Counters are grouped (``group``, ``name``) integer accumulators that user
+code increments through the task context and that the runtime reads back
+after the job.  They also matter to the *analyzer*: a mapper whose emit
+decision depends on a counter value is not a pure function of its inputs
+and must not be optimized (the Fig. 2 situation in the paper).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Tuple
+
+
+class Counters:
+    """A two-level map of ``group -> name -> count``."""
+
+    def __init__(self) -> None:
+        self._groups: Dict[str, Dict[str, int]] = defaultdict(dict)
+
+    def increment(self, group: str, name: str, amount: int = 1) -> None:
+        bucket = self._groups[group]
+        bucket[name] = bucket.get(name, 0) + amount
+
+    def get(self, group: str, name: str) -> int:
+        return self._groups.get(group, {}).get(name, 0)
+
+    def merge(self, other: "Counters") -> None:
+        """Fold another counter set into this one (task -> job rollup)."""
+        for group, names in other._groups.items():
+            bucket = self._groups[group]
+            for name, count in names.items():
+                bucket[name] = bucket.get(name, 0) + count
+
+    def items(self) -> Iterator[Tuple[str, str, int]]:
+        for group in sorted(self._groups):
+            for name in sorted(self._groups[group]):
+                yield group, name, self._groups[group][name]
+
+    def to_dict(self) -> Dict[str, Dict[str, int]]:
+        return {g: dict(names) for g, names in self._groups.items()}
+
+    def __repr__(self) -> str:
+        parts = [f"{g}.{n}={c}" for g, n, c in self.items()]
+        return f"Counters({', '.join(parts)})"
+
+
+#: Counter group used by the framework itself.
+FRAMEWORK_GROUP = "framework"

@@ -1,0 +1,236 @@
+"""The local job runner: map -> combine -> shuffle/sort -> reduce.
+
+This is the execution fabric of the reproduction.  It "retains the standard
+map-shuffle-reduce sequence and is almost identical to standard MapReduce"
+(paper Section 2): input sources produce splits, each split becomes a map
+task with its own mapper instance and context, an optional combiner folds
+each task's output, a hash partitioner routes pairs to reduce partitions,
+each partition is sorted and grouped by key, and reducers emit the final
+output.
+
+Tasks run sequentially in-process (determinism makes the experiments and
+the property tests trustworthy); cluster parallelism is modeled separately
+by :mod:`repro.mapreduce.cost` from the byte/record metrics collected here.
+"""
+
+from __future__ import annotations
+
+import time
+from itertools import groupby
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.exceptions import JobExecutionError
+from repro.mapreduce.api import Context
+from repro.mapreduce.counters import Counters, FRAMEWORK_GROUP
+from repro.mapreduce.job import JobConf, JobResult
+from repro.mapreduce.keyspace import estimate_size, sort_key
+from repro.mapreduce.metrics import JobMetrics
+from repro.storage.recordfile import RecordFileWriter
+from repro.storage.serialization import Record, Schema
+
+
+class LocalJobRunner:
+    """Runs jobs in-process with full metric accounting."""
+
+    def __init__(self, splits_per_input: int = 10):
+        #: target number of splits (map tasks) per input source
+        self.splits_per_input = splits_per_input
+
+    def run(self, conf: JobConf) -> JobResult:
+        start = time.perf_counter()
+        metrics = JobMetrics()
+        counters = Counters()
+
+        partitions: List[List[Tuple[Any, Any]]] = [
+            [] for _ in range(conf.num_reducers)
+        ]
+
+        n_tasks = 0
+        for source in conf.inputs:
+            for split in source.splits(self.splits_per_input):
+                n_tasks += 1
+                self._run_map_task(conf, source.tag, split, partitions,
+                                   metrics, counters)
+        metrics.map_tasks = n_tasks
+        counters.increment(FRAMEWORK_GROUP, "map_tasks", n_tasks)
+
+        outputs = self._run_reduce_phase(conf, partitions, metrics, counters)
+
+        if conf.output_path is not None:
+            self._write_output(conf, outputs)
+
+        metrics.wall_seconds = time.perf_counter() - start
+        counters.increment(
+            FRAMEWORK_GROUP, "reduce_output_records", len(outputs)
+        )
+        return JobResult(
+            job_name=conf.name,
+            outputs=outputs,
+            counters=counters,
+            metrics=metrics,
+        )
+
+    # -- map side -----------------------------------------------------------
+
+    def _run_map_task(
+        self,
+        conf: JobConf,
+        tag: Optional[str],
+        split,
+        partitions: List[List[Tuple[Any, Any]]],
+        metrics: JobMetrics,
+        counters: Counters,
+    ) -> None:
+        mapper = conf.make_mapper(tag)
+        ctx = Context(input_tag=tag)
+        reader = split.source.open(split)
+        try:
+            mapper.setup(ctx)
+            for key, value in reader:
+                mapper.map(key, value, ctx)
+            mapper.cleanup(ctx)
+        except Exception as exc:
+            raise JobExecutionError(
+                f"map task failed in job {conf.name!r}: {exc}"
+            ) from exc
+
+        metrics.map_input_records += reader.records
+        metrics.map_input_stored_bytes += reader.stored_bytes
+        metrics.map_input_logical_bytes += reader.logical_bytes
+        metrics.fields_deserialized += reader.fields
+        metrics.records_skipped += reader.skipped
+        metrics.map_output_records += len(ctx.emitted)
+        for key, value in ctx.emitted:
+            metrics.map_output_bytes += estimate_size(key) + estimate_size(value)
+        counters.merge(ctx.counters)
+
+        pairs = ctx.emitted
+        if conf.combiner is not None and pairs:
+            pairs = self._run_combiner(conf, pairs, counters)
+
+        if conf.shuffle_filter is not None and pairs:
+            # Appendix E: delete map outputs whose group the reducer
+            # provably ignores, before they cost shuffle/sort work.
+            kept = []
+            for key, value in pairs:
+                if conf.shuffle_filter(key):
+                    kept.append((key, value))
+                else:
+                    metrics.shuffle_records_skipped += 1
+            pairs = kept
+
+        for key, value in pairs:
+            part = conf.partitioner.partition(key, conf.num_reducers)
+            partitions[part].append((key, value))
+            metrics.shuffle_records += 1
+            key_bytes = estimate_size(key)
+            metrics.shuffle_key_bytes += key_bytes
+            metrics.shuffle_bytes += key_bytes + estimate_size(value)
+
+    def _run_combiner(
+        self,
+        conf: JobConf,
+        pairs: List[Tuple[Any, Any]],
+        counters: Counters,
+    ) -> List[Tuple[Any, Any]]:
+        combiner = conf.make_combiner()
+        assert combiner is not None
+        ctx = Context()
+        ordered = sorted(pairs, key=lambda kv: sort_key(kv[0]))
+        try:
+            combiner.setup(ctx)
+            for _skey, group in groupby(ordered, key=lambda kv: sort_key(kv[0])):
+                group = list(group)
+                combiner.reduce(group[0][0], [v for _, v in group], ctx)
+            combiner.cleanup(ctx)
+        except Exception as exc:
+            raise JobExecutionError(
+                f"combiner failed in job {conf.name!r}: {exc}"
+            ) from exc
+        counters.merge(ctx.counters)
+        return ctx.emitted
+
+    # -- reduce side ---------------------------------------------------------
+
+    def _run_reduce_phase(
+        self,
+        conf: JobConf,
+        partitions: List[List[Tuple[Any, Any]]],
+        metrics: JobMetrics,
+        counters: Counters,
+    ) -> List[Tuple[Any, Any]]:
+        reducer_proto = conf.make_reducer()
+        outputs: List[Tuple[Any, Any]] = []
+        for pairs in partitions:
+            if not pairs:
+                continue
+            if reducer_proto is None:
+                # Map-only job: shuffle output is the job output.
+                outputs.extend(pairs)
+                metrics.reduce_output_records += len(pairs)
+                for key, value in pairs:
+                    metrics.reduce_output_bytes += (
+                        estimate_size(key) + estimate_size(value)
+                    )
+                continue
+            reducer = conf.make_reducer()
+            assert reducer is not None
+            ctx = Context()
+            ordered = sorted(pairs, key=lambda kv: sort_key(kv[0]))
+            try:
+                reducer.setup(ctx)
+                for _skey, group in groupby(
+                    ordered, key=lambda kv: sort_key(kv[0])
+                ):
+                    group = list(group)
+                    metrics.reduce_groups += 1
+                    metrics.reduce_input_records += len(group)
+                    reducer.reduce(group[0][0], [v for _, v in group], ctx)
+                reducer.cleanup(ctx)
+            except Exception as exc:
+                raise JobExecutionError(
+                    f"reduce task failed in job {conf.name!r}: {exc}"
+                ) from exc
+            counters.merge(ctx.counters)
+            outputs.extend(ctx.emitted)
+            metrics.reduce_output_records += len(ctx.emitted)
+            for key, value in ctx.emitted:
+                metrics.reduce_output_bytes += (
+                    estimate_size(key) + estimate_size(value)
+                )
+        return outputs
+
+    # -- output --------------------------------------------------------------
+
+    def _write_output(self, conf: JobConf, outputs: List[Tuple[Any, Any]]) -> None:
+        key_schema = conf.output_key_schema
+        value_schema = conf.output_value_schema
+        if key_schema is None or value_schema is None:
+            raise JobExecutionError(
+                f"job {conf.name!r} sets output_path but not output schemas"
+            )
+        with RecordFileWriter(conf.output_path, key_schema, value_schema) as w:
+            for key, value in outputs:
+                w.append(
+                    _coerce(key, key_schema), _coerce(value, value_schema)
+                )
+
+
+def _coerce(value: Any, schema: Schema) -> Record:
+    """Wrap a primitive into a one-field record when schemas expect it."""
+    if isinstance(value, Record):
+        return value
+    if len(schema.fields) == 1:
+        return schema.make(value)
+    raise JobExecutionError(
+        f"cannot coerce {type(value).__name__} into schema {schema.name!r}"
+    )
+
+
+#: Shared default runner.
+DEFAULT_RUNNER = LocalJobRunner()
+
+
+def run_job(conf: JobConf, runner: Optional[LocalJobRunner] = None) -> JobResult:
+    """Run a job on the default local runner (convenience entry point)."""
+    return (runner or DEFAULT_RUNNER).run(conf)

@@ -1,0 +1,63 @@
+"""Storage substrates: serialization, record files, B+Tree, codecs.
+
+This package is the reproduction's stand-in for HDFS flat files plus the
+physical index formats Manimal's optimizer materializes:
+
+* :mod:`repro.storage.serialization` -- schemas and record encode/decode
+* :mod:`repro.storage.recordfile` -- block-structured key/value files
+* :mod:`repro.storage.btree` -- disk-backed B+Tree (selection indexes)
+* :mod:`repro.storage.columnfile` -- projected files (projection indexes)
+* :mod:`repro.storage.delta` -- delta-compressed numeric fields
+* :mod:`repro.storage.dictionary` -- dictionary compression / direct operation
+* :mod:`repro.storage.orderkeys` -- order-preserving key encodings
+* :mod:`repro.storage.varint` -- size-sensitive integer encodings
+"""
+
+from repro.storage.btree import BTree, BTreeBuilder, BTreeStats
+from repro.storage.columnfile import build_column_groups, build_projection
+from repro.storage.delta import DeltaFileReader, DeltaFileWriter
+from repro.storage.dictionary import DictionaryFileReader, DictionaryFileWriter
+from repro.storage.recordfile import (
+    BlockInfo,
+    RecordFileReader,
+    RecordFileWriter,
+    write_records,
+)
+from repro.storage.serialization import (
+    Field,
+    FieldType,
+    OpaqueSchema,
+    Record,
+    Schema,
+    INT_SCHEMA,
+    LONG_SCHEMA,
+    STRING_SCHEMA,
+    DOUBLE_SCHEMA,
+    primitive_schema,
+)
+
+__all__ = [
+    "BTree",
+    "BTreeBuilder",
+    "BTreeStats",
+    "BlockInfo",
+    "DeltaFileReader",
+    "DeltaFileWriter",
+    "DictionaryFileReader",
+    "DictionaryFileWriter",
+    "Field",
+    "FieldType",
+    "OpaqueSchema",
+    "Record",
+    "RecordFileReader",
+    "RecordFileWriter",
+    "Schema",
+    "INT_SCHEMA",
+    "LONG_SCHEMA",
+    "STRING_SCHEMA",
+    "DOUBLE_SCHEMA",
+    "build_column_groups",
+    "build_projection",
+    "primitive_schema",
+    "write_records",
+]

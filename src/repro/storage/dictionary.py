@@ -1,0 +1,269 @@
+"""Dictionary-compressed record files for direct operation.
+
+Implements the paper's *direct-operation* compression (Section 2.1,
+Appendix D): a string field that the mapper uses only in equality tests (or
+purely as a grouping key) is replaced by a small integer code.  The mapper
+then runs on compressed values -- "during actual program execution, destURL
+is implemented as an integer instead of a String" -- saving input bytes,
+intermediate bytes, and sort time, while preserving the equality semantics
+the program relies on.
+
+Codes are assigned in first-appearance order during the build, which makes
+builds deterministic for a given input.  Compression destroys *ordering*,
+which is exactly why the analyzer may only apply it when every use is an
+equality test and the final output does not need the decompressed value.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.exceptions import CorruptFileError, SchemaError, SerializationError
+from repro.storage import varint
+from repro.storage.recordfile import BlockInfo, DEFAULT_BLOCK_SIZE
+from repro.storage.serialization import (
+    Field,
+    FieldType,
+    Record,
+    Schema,
+    _decode_value,
+    _encode_value,
+)
+
+MAGIC = b"RPDX"
+
+
+def compressed_schema(value_schema: Schema, field_name: str) -> Schema:
+    """Schema presented to the mapper: ``field_name`` becomes an INT code."""
+    fields = [
+        Field(f.name, FieldType.INT if f.name == field_name else f.ftype)
+        for f in value_schema.fields
+    ]
+    return Schema(f"{value_schema.name}_dict_{field_name}", fields)
+
+
+class DictionaryFileWriter:
+    """Two-phase writer: values stream through, dictionary lands in footer.
+
+    The dictionary (code -> original string) is written *after* the record
+    blocks so the build stays single-pass; readers locate it through the
+    trailing footer pointer.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        key_schema: Schema,
+        value_schema: Schema,
+        field_name: str,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        metadata: Optional[Dict[str, Any]] = None,
+    ):
+        if not value_schema.transparent:
+            raise SchemaError(
+                "dictionary compression requires a transparent value schema"
+            )
+        field = value_schema.field(field_name)
+        if field.ftype is not FieldType.STRING:
+            raise SchemaError(
+                f"dictionary compression targets string fields; {field_name!r} "
+                f"is {field.ftype.value}"
+            )
+        self.path = path
+        self.key_schema = key_schema
+        self.value_schema = value_schema
+        self.field_name = field_name
+        self.stored_schema = compressed_schema(value_schema, field_name)
+        self._field_index = value_schema.field_index(field_name)
+        self.block_size = block_size
+        self._file = open(path, "wb")
+        self._buffer = bytearray()
+        self._buffer_records = 0
+        self._codes: Dict[str, int] = {}
+        self.records_written = 0
+        self._closed = False
+        header = {
+            "key_schema": key_schema.to_dict(),
+            "value_schema": value_schema.to_dict(),
+            "field_name": field_name,
+            "metadata": metadata or {},
+        }
+        raw = json.dumps(header, sort_keys=True).encode("utf-8")
+        self._file.write(MAGIC)
+        self._file.write(varint.encode_uvarint(len(raw)))
+        self._file.write(raw)
+
+    def append(self, key: Record, value: Record) -> None:
+        if self._closed:
+            raise SerializationError("writer is closed")
+        original = getattr(value, self.field_name)
+        if not isinstance(original, str):
+            raise SerializationError(
+                f"field {self.field_name!r} must be str, got "
+                f"{type(original).__name__}"
+            )
+        code = self._codes.get(original)
+        if code is None:
+            code = len(self._codes)
+            self._codes[original] = code
+        values = list(value.as_tuple())
+        values[self._field_index] = code
+        stored = Record(self.stored_schema, values)
+        kraw = self.key_schema.encode(key)
+        vraw = self.stored_schema.encode(stored)
+        self._buffer += varint.encode_uvarint(len(kraw))
+        self._buffer += kraw
+        self._buffer += varint.encode_uvarint(len(vraw))
+        self._buffer += vraw
+        self._buffer_records += 1
+        self.records_written += 1
+        if len(self._buffer) >= self.block_size:
+            self._flush_block()
+
+    def _flush_block(self) -> None:
+        if not self._buffer_records:
+            return
+        self._file.write(varint.encode_uvarint(len(self._buffer)))
+        self._file.write(varint.encode_uvarint(self._buffer_records))
+        self._file.write(bytes(self._buffer))
+        self._buffer = bytearray()
+        self._buffer_records = 0
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._flush_block()
+        data_end = self._file.tell()
+        # Footer: the dictionary in code order, then a fixed-size pointer.
+        ordered = sorted(self._codes.items(), key=lambda kv: kv[1])
+        footer = bytearray()
+        footer += varint.encode_uvarint(len(ordered))
+        for text, _code in ordered:
+            raw = text.encode("utf-8")
+            footer += varint.encode_uvarint(len(raw))
+            footer += raw
+        self._file.write(bytes(footer))
+        self._file.write(data_end.to_bytes(8, "little"))
+        self._file.close()
+        self._closed = True
+
+    def __enter__(self) -> "DictionaryFileWriter":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class DictionaryFileReader:
+    """Reads dictionary-compressed files, yielding *compressed* records.
+
+    The value records carry an ``int`` code in place of the compressed
+    string field -- that substitution is the whole point of direct
+    operation.  Use :meth:`dictionary` to decompress codes when needed
+    (e.g. for verification in tests).
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._file = open(path, "rb")
+        self.bytes_read = 0
+        if self._file.read(len(MAGIC)) != MAGIC:
+            self._file.close()
+            raise CorruptFileError(f"{path}: bad dictionary-file magic")
+        header_len, prefix = self._read_uvarint_from_file()
+        header = json.loads(self._file.read(header_len).decode("utf-8"))
+        self.key_schema = Schema.from_dict(header["key_schema"])
+        self.value_schema = Schema.from_dict(header["value_schema"])
+        self.field_name: str = header["field_name"]
+        self.stored_schema = compressed_schema(self.value_schema, self.field_name)
+        self.metadata: Dict[str, Any] = header.get("metadata", {})
+        self._data_start = len(MAGIC) + prefix + header_len
+        total = os.path.getsize(path)
+        self._file.seek(total - 8)
+        self._data_end = int.from_bytes(self._file.read(8), "little")
+        if not self._data_start <= self._data_end <= total - 8:
+            raise CorruptFileError(f"{path}: bad dictionary footer pointer")
+        self._dictionary: Optional[List[str]] = None
+        self._file_size = total
+
+    def _read_uvarint_from_file(self) -> Tuple[int, int]:
+        result = 0
+        shift = 0
+        n = 0
+        while True:
+            raw = self._file.read(1)
+            if not raw:
+                raise CorruptFileError(f"{self.path}: truncated varint")
+            n += 1
+            byte = raw[0]
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result, n
+            shift += 7
+
+    def dictionary(self) -> List[str]:
+        """The code -> string table (loaded lazily, cached)."""
+        if self._dictionary is None:
+            self._file.seek(self._data_end)
+            count, _ = self._read_uvarint_from_file()
+            table: List[str] = []
+            for _ in range(count):
+                length, _ = self._read_uvarint_from_file()
+                raw = self._file.read(length)
+                if len(raw) != length:
+                    raise CorruptFileError(f"{self.path}: truncated dictionary")
+                table.append(raw.decode("utf-8"))
+            self._dictionary = table
+        return self._dictionary
+
+    def blocks(self) -> List[BlockInfo]:
+        out: List[BlockInfo] = []
+        self._file.seek(self._data_start)
+        while self._file.tell() < self._data_end:
+            offset = self._file.tell()
+            payload_len, n1 = self._read_uvarint_from_file()
+            n_records, n2 = self._read_uvarint_from_file()
+            out.append(BlockInfo(offset, n1 + n2 + payload_len, n_records))
+            self._file.seek(payload_len, io.SEEK_CUR)
+        return out
+
+    def iter_records(
+        self, blocks: Optional[List[BlockInfo]] = None
+    ) -> Iterator[Tuple[Record, Record]]:
+        if blocks is None:
+            blocks = self.blocks()
+        for block in blocks:
+            self._file.seek(block.offset)
+            payload_len, n1 = self._read_uvarint_from_file()
+            n_records, n2 = self._read_uvarint_from_file()
+            payload = self._file.read(payload_len)
+            if len(payload) != payload_len:
+                raise CorruptFileError(f"{self.path}: truncated block")
+            self.bytes_read += n1 + n2 + payload_len
+            pos = 0
+            for _ in range(n_records):
+                klen, pos = varint.decode_uvarint(payload, pos)
+                kraw = payload[pos:pos + klen]
+                pos += klen
+                vlen, pos = varint.decode_uvarint(payload, pos)
+                vraw = payload[pos:pos + vlen]
+                pos += vlen
+                yield self.key_schema.decode(kraw), self.stored_schema.decode(vraw)
+
+    def count_records(self) -> int:
+        return sum(b.n_records for b in self.blocks())
+
+    def file_size(self) -> int:
+        return self._file_size
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "DictionaryFileReader":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

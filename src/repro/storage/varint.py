@@ -1,0 +1,105 @@
+"""Size-sensitive integer encodings: unsigned varint and zigzag.
+
+The paper's delta-compression stores "just small deltas, when combined with
+a size-sensitive representation" (Section 2.1).  This module provides that
+representation: LEB128-style unsigned varints, plus the zigzag transform so
+that small *negative* deltas also encode compactly.
+
+All functions operate on ``bytes`` / ``bytearray`` and plain ``int``; they
+are the innermost loop of the delta codec, so they avoid any object
+allocation beyond the output buffer itself.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.exceptions import SerializationError
+
+#: Upper bound on encoded varint size we accept when decoding.  64-bit
+#: values need at most 10 bytes; anything longer is corruption.
+MAX_VARINT_LEN = 10
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+_UINT64_MAX = (1 << 64) - 1
+
+
+def encode_uvarint(value: int) -> bytes:
+    """Encode a non-negative integer as a LEB128 varint.
+
+    Values below 128 take one byte; each additional 7 bits adds a byte.
+    """
+    if value < 0:
+        raise SerializationError(f"uvarint cannot encode negative value {value}")
+    if value > _UINT64_MAX:
+        raise SerializationError(f"uvarint value {value} exceeds 64 bits")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_uvarint(buf: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode a varint from ``buf`` at ``offset``.
+
+    Returns ``(value, next_offset)``.
+    """
+    result = 0
+    shift = 0
+    pos = offset
+    end = len(buf)
+    while True:
+        if pos >= end:
+            raise SerializationError("truncated varint")
+        if pos - offset >= MAX_VARINT_LEN:
+            raise SerializationError("varint longer than 10 bytes")
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            if result > _UINT64_MAX:
+                raise SerializationError("varint overflows 64 bits")
+            return result, pos
+        shift += 7
+
+
+def zigzag_encode(value: int) -> int:
+    """Map a signed integer to an unsigned one with small absolute values
+    mapping to small results: 0→0, -1→1, 1→2, -2→3, ...
+    """
+    if not _INT64_MIN <= value <= _INT64_MAX:
+        raise SerializationError(f"zigzag value {value} exceeds 64-bit signed range")
+    return ((value << 1) ^ (value >> 63)) & _UINT64_MAX
+
+
+def zigzag_decode(value: int) -> int:
+    """Inverse of :func:`zigzag_encode`."""
+    return (value >> 1) ^ -(value & 1)
+
+
+def encode_svarint(value: int) -> bytes:
+    """Encode a signed integer as zigzag + uvarint."""
+    return encode_uvarint(zigzag_encode(value))
+
+
+def decode_svarint(buf: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode a signed zigzag varint.  Returns ``(value, next_offset)``."""
+    raw, pos = decode_uvarint(buf, offset)
+    return zigzag_decode(raw), pos
+
+
+def uvarint_len(value: int) -> int:
+    """Number of bytes :func:`encode_uvarint` uses for ``value``."""
+    if value < 0:
+        raise SerializationError("uvarint_len of negative value")
+    length = 1
+    while value >= 0x80:
+        value >>= 7
+        length += 1
+    return length

@@ -1,0 +1,25 @@
+"""Workloads: Figure 7 schemas, generators, Pavlo benchmarks, and the
+single-optimization tasks of the paper's Appendix D."""
+
+from repro.workloads.datagen import (
+    ZipfSampler,
+    generate_documents,
+    generate_rankings,
+    generate_uservisits,
+    generate_webpages,
+    rank_threshold_for_selectivity,
+)
+from repro.workloads.schemas import DOCUMENTS, RANKINGS, USERVISITS, WEBPAGES
+
+__all__ = [
+    "DOCUMENTS",
+    "RANKINGS",
+    "USERVISITS",
+    "WEBPAGES",
+    "ZipfSampler",
+    "generate_documents",
+    "generate_rankings",
+    "generate_uservisits",
+    "generate_webpages",
+    "rank_threshold_for_selectivity",
+]

@@ -1,0 +1,210 @@
+"""Deterministic workload generators.
+
+Mirrors the paper's Appendix D data generation, scaled down: "we randomly
+generated unique pages with Zipfian popularity and created the link
+structure accordingly"; UserVisits fields are drawn uniformly except
+``destURL``, "picked from the WebPages list of randomly generated URLs
+(again, according to a Zipfian distribution)".
+
+Everything is seeded and reproducible; sizes are parameters so benchmarks
+can build Small/Large variants (paper Table 4) from the same code.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from bisect import bisect_right
+from typing import Iterator, List, Optional, Tuple
+
+from repro.storage.recordfile import RecordFileWriter
+from repro.storage.serialization import LONG_SCHEMA, Record, STRING_SCHEMA, Schema
+from repro.workloads.schemas import DOCUMENTS, RANKINGS, USERVISITS, WEBPAGES
+
+#: Epoch-second bounds for visitDate generation (2000-01-01 .. 2004-01-01).
+VISIT_DATE_LO = 946_684_800
+VISIT_DATE_HI = 1_072_915_200
+
+_COUNTRY_CODES = ["US", "DE", "JP", "BR", "IN", "CN", "FR", "GB", "CA", "AU"]
+_LANG_CODES = ["en", "de", "ja", "pt", "hi", "zh", "fr", "es"]
+_AGENTS = [
+    "Mozilla/4.0", "Mozilla/5.0", "Opera/9.80", "Lynx/2.8", "curl/7.19",
+]
+_WORDS = [
+    "database", "mapreduce", "hadoop", "index", "btree", "query", "join",
+    "selection", "projection", "compression", "cluster", "optimizer",
+]
+
+
+class ZipfSampler:
+    """Bounded Zipf(alpha) sampler over ``{0, ..., n-1}`` via CDF bisection."""
+
+    def __init__(self, n: int, alpha: float = 1.0):
+        if n <= 0:
+            raise ValueError("ZipfSampler needs n > 0")
+        self.n = n
+        self.alpha = alpha
+        cumulative: List[float] = []
+        total = 0.0
+        for i in range(1, n + 1):
+            total += 1.0 / (i ** alpha)
+            cumulative.append(total)
+        self._cumulative = cumulative
+        self._total = total
+
+    def sample(self, rng: random.Random) -> int:
+        point = rng.random() * self._total
+        return bisect_right(self._cumulative, point)
+
+
+def page_url(i: int) -> str:
+    return f"http://www.site{i % 1000}.example.com/page-{i}"
+
+
+def _content(rng: random.Random, size: int) -> str:
+    """Pseudo-HTML filler of roughly ``size`` characters."""
+    chunk = "".join(rng.choices(string.ascii_lowercase + " <>/=\"", k=64))
+    repeats = max(1, size // len(chunk))
+    return (chunk * repeats)[:size]
+
+
+def generate_webpages(
+    path: str,
+    n: int,
+    content_size: int = 510,
+    rank_max: int = 100,
+    seed: int = 7,
+    zipf_alpha: Optional[float] = None,
+) -> int:
+    """Write ``n`` WebPages records; returns the record count.
+
+    Ranks are uniform over ``[0, rank_max)`` by default so selection
+    benchmarks can dial exact selectivities; pass ``zipf_alpha`` for the
+    paper's skewed-popularity shape instead.
+    """
+    rng = random.Random(seed)
+    zipf = ZipfSampler(rank_max, zipf_alpha) if zipf_alpha else None
+    with RecordFileWriter(path, LONG_SCHEMA, WEBPAGES) as writer:
+        for i in range(n):
+            if zipf is not None:
+                rank = zipf.sample(rng)
+            else:
+                rank = rng.randrange(rank_max)
+            record = WEBPAGES.make(
+                page_url(i), rank, _content(rng, content_size)
+            )
+            writer.append(LONG_SCHEMA.make(i), record)
+        return writer.records_written
+
+
+def generate_uservisits(
+    path: str,
+    n: int,
+    n_urls: int = 1000,
+    seed: int = 11,
+    zipf_alpha: float = 1.0,
+    date_lo: int = VISIT_DATE_LO,
+    date_hi: int = VISIT_DATE_HI,
+    sorted_dates: bool = False,
+) -> int:
+    """Write ``n`` UserVisits records drawing destURL Zipf-style.
+
+    ``sorted_dates=True`` emits visits in time order (non-decreasing
+    ``visitDate``), the natural shape of an appended-to access log and the
+    regime where delta-compression of dates pays off ("sequential data
+    items generally have numeric values that only change slightly",
+    paper Appendix D).
+    """
+    rng = random.Random(seed)
+    zipf = ZipfSampler(n_urls, zipf_alpha)
+    running_date = date_lo
+    date_span = max(1, date_hi - date_lo)
+    with RecordFileWriter(path, LONG_SCHEMA, USERVISITS) as writer:
+        for i in range(n):
+            if sorted_dates:
+                # Non-decreasing small steps covering the range across n rows.
+                step_cap = max(2, (2 * date_span) // max(n, 1))
+                running_date = min(date_hi - 1,
+                                   running_date + rng.randrange(step_cap))
+                visit_date = running_date
+            else:
+                visit_date = rng.randrange(date_lo, date_hi)
+            record = USERVISITS.make(
+                sourceIP=(
+                    f"{rng.randrange(1, 255)}.{rng.randrange(256)}."
+                    f"{rng.randrange(256)}.{rng.randrange(1, 255)}"
+                ),
+                destURL=page_url(zipf.sample(rng)),
+                visitDate=visit_date,
+                adRevenue=rng.randrange(1, 10_000),
+                userAgent=rng.choice(_AGENTS),
+                countryCode=rng.choice(_COUNTRY_CODES),
+                languageCode=rng.choice(_LANG_CODES),
+                searchWord=rng.choice(_WORDS),
+                duration=rng.randrange(1, 1_000),
+            )
+            writer.append(LONG_SCHEMA.make(i), record)
+        return writer.records_written
+
+
+def generate_rankings(
+    path: str,
+    n: int,
+    rank_max: int = 10_000,
+    seed: int = 13,
+    schema: Schema = RANKINGS,
+) -> int:
+    """Write ``n`` Rankings records (Pavlo Benchmark 1 / 3 input).
+
+    ``schema`` may be swapped for the opaque ``AbstractTuple`` variant used
+    by Benchmark 1 (see :mod:`repro.workloads.pavlo.abstract_tuple`); the
+    field values are identical either way.
+    """
+    rng = random.Random(seed)
+    with RecordFileWriter(path, LONG_SCHEMA, schema) as writer:
+        for i in range(n):
+            record = schema.make(
+                page_url(i), rng.randrange(rank_max), rng.randrange(10, 10_000)
+            )
+            writer.append(LONG_SCHEMA.make(i), record)
+        return writer.records_written
+
+
+def generate_documents(
+    path: str,
+    n: int,
+    links_per_doc: int = 10,
+    n_urls: int = 1000,
+    filler_words: int = 60,
+    seed: int = 17,
+    zipf_alpha: float = 1.0,
+) -> int:
+    """Write ``n`` crawled documents with embedded links (Benchmark 4).
+
+    The document's own URL is the record key; the content embeds
+    Zipf-popular links that the UDF-aggregation task extracts and counts.
+    """
+    rng = random.Random(seed)
+    zipf = ZipfSampler(n_urls, zipf_alpha)
+    with RecordFileWriter(path, STRING_SCHEMA, DOCUMENTS) as writer:
+        for i in range(n):
+            tokens: List[str] = []
+            for _ in range(filler_words):
+                tokens.append(rng.choice(_WORDS))
+            n_links = rng.randrange(1, links_per_doc * 2)
+            for _ in range(n_links):
+                tokens.append(page_url(zipf.sample(rng)))
+            rng.shuffle(tokens)
+            writer.append(
+                STRING_SCHEMA.make(page_url(i)),
+                DOCUMENTS.make(" ".join(tokens)),
+            )
+        return writer.records_written
+
+
+def rank_threshold_for_selectivity(rank_max: int, selectivity: float) -> int:
+    """Threshold t such that ``rank > t`` admits ~``selectivity`` of uniform
+    ranks in [0, rank_max)."""
+    if not 0.0 <= selectivity <= 1.0:
+        raise ValueError("selectivity must be in [0, 1]")
+    return int(round(rank_max * (1.0 - selectivity))) - 1

@@ -1,0 +1,62 @@
+"""A Gridmix-style byte-level workload (paper Appendix B).
+
+"The actual work performed by Gridmix is meaningless: it simply consumes
+and emits random bytes according to recorded parameters.  However well
+Gridmix may exercise the underlying Hadoop implementation, without any
+true task semantics to analyze, there is nothing Manimal can do to
+improve its execution."
+
+This module reproduces that *negative control*: a generator of opaque
+byte records and a job that shovels them through the pipeline.  The test
+suite asserts Manimal finds nothing to optimize here -- analyzer recall
+claims mean little without a workload where the right answer is zero.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterable
+
+from repro.mapreduce.api import Context, Mapper, Reducer
+from repro.mapreduce.formats import RecordFileInput
+from repro.mapreduce.job import JobConf
+from repro.storage.recordfile import RecordFileWriter
+from repro.storage.serialization import Field, FieldType, LONG_SCHEMA, Schema
+
+#: One opaque payload per record: byte-level work, no task semantics.
+GRIDMIX_RECORD = Schema("GridmixRecord", [Field("payload", FieldType.BYTES)])
+
+
+def generate_gridmix(path: str, n: int, payload_size: int = 200,
+                     seed: int = 23) -> int:
+    """Write ``n`` records of random bytes."""
+    rng = random.Random(seed)
+    with RecordFileWriter(path, LONG_SCHEMA, GRIDMIX_RECORD) as writer:
+        for i in range(n):
+            writer.append(
+                LONG_SCHEMA.make(i),
+                GRIDMIX_RECORD.make(rng.randbytes(payload_size)),
+            )
+        return writer.records_written
+
+
+class GridmixMapper(Mapper):
+    """Consume and emit bytes; the emitted volume mimics the input."""
+
+    def map(self, key: Any, value: Any, ctx: Context) -> None:
+        ctx.emit(key, value.payload)
+
+
+class GridmixReducer(Reducer):
+    def reduce(self, key: Any, values: Iterable[Any], ctx: Context) -> None:
+        for payload in values:
+            ctx.emit(key, len(payload))
+
+
+def make_job(input_path: str, name: str = "gridmix") -> JobConf:
+    return JobConf(
+        name=name,
+        mapper=GridmixMapper,
+        reducer=GridmixReducer,
+        inputs=[RecordFileInput(input_path)],
+    )

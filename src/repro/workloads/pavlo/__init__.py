@@ -1,0 +1,12 @@
+"""The four Pavlo et al. benchmark programs (paper Section 4.1 / Table 1)."""
+
+from repro.workloads.pavlo import benchmark1, benchmark2, benchmark3, benchmark4
+from repro.workloads.pavlo.abstract_tuple import ABSTRACT_TUPLE_RANKINGS
+
+__all__ = [
+    "ABSTRACT_TUPLE_RANKINGS",
+    "benchmark1",
+    "benchmark2",
+    "benchmark3",
+    "benchmark4",
+]

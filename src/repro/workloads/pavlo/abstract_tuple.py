@@ -1,0 +1,73 @@
+"""The ``AbstractTuple`` opaque serialization used by Benchmark 1.
+
+Paper Section 4.1, explaining Table 1's two Benchmark-1 misses:
+
+    "the authors employed an unusual custom class for the map() function's
+    value parameter.  The AbstractTuple class essentially creates its own
+    serialization format, and contains no direct program-specific clues as
+    to its function.  The analyzer is thus unable to distinguish between
+    different fields in the serialized data."
+
+This module reproduces that situation faithfully: Rankings records are
+serialized as a single delimiter-joined string (one undifferentiated blob
+of bytes), so the schema is *opaque* -- the analyzer cannot see numeric
+fields (no delta-compression) or field boundaries (no projection).  At
+runtime the decoder reconstitutes a full record, so the mapper code is
+unchanged and *selection* -- which analyzes the code, not the byte layout
+-- still works.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import SerializationError
+from repro.storage.serialization import (
+    Field,
+    FieldType,
+    OpaqueSchema,
+    Record,
+    register_opaque_schema,
+)
+
+_DELIMITER = "\x01"
+_FIELDS = [
+    Field("pageURL", FieldType.STRING),
+    Field("pageRank", FieldType.INT),
+    Field("avgDuration", FieldType.INT),
+]
+
+
+def _encode(record: Record) -> bytes:
+    """Pack all fields into one delimited string -- no structural clues."""
+    parts = [
+        str(record.pageURL),
+        str(record.pageRank),
+        str(record.avgDuration),
+    ]
+    for part in parts[:1]:
+        if _DELIMITER in part:
+            raise SerializationError(
+                "AbstractTuple cannot encode strings containing the delimiter"
+            )
+    return _DELIMITER.join(parts).encode("utf-8")
+
+
+def _decode(schema: OpaqueSchema, raw: bytes) -> Record:
+    parts = raw.decode("utf-8").split(_DELIMITER)
+    if len(parts) != 3:
+        raise SerializationError(
+            f"AbstractTuple blob has {len(parts)} parts, expected 3"
+        )
+    return Record(schema, [parts[0], int(parts[1]), int(parts[2])])
+
+
+#: The opaque Rankings schema.  Field metadata is present so *runtime*
+#: decoding yields normal attribute access, but ``transparent`` is False:
+#: the analyzer treats the serialized layout as an undifferentiated blob.
+ABSTRACT_TUPLE_RANKINGS = register_opaque_schema(
+    OpaqueSchema(
+        "AbstractTupleRankings",
+        _FIELDS,
+        encoder=_encode,
+        decoder=_decode,
+    )
+)

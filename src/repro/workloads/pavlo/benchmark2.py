@@ -1,0 +1,55 @@
+"""Pavlo Benchmark 2 -- Aggregation.
+
+The task (the "standard" variant, paper footnote 5: "sums revenues for
+unique IP addresses, not the subnet-oriented version")::
+
+    SELECT sourceIP, SUM(adRevenue) FROM UserVisits GROUP BY sourceIP
+
+Paper Table 1 row: Select **Not Present** (the mapper emits
+unconditionally), Project **Detected** (only 2 of 9 serialized fields are
+read), Delta **Detected** (UserVisits carries integral fields).  The
+combined projection+delta index is "fairly small: 20% of the original
+file's size", which drives the 2.96x Table 2 speedup.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.mapreduce.api import Context, Mapper, Reducer
+from repro.mapreduce.formats import RecordFileInput
+from repro.mapreduce.job import JobConf
+from repro.workloads.datagen import generate_uservisits
+
+HUMAN_ANNOTATION = {"SELECT": False, "PROJECT": True, "DELTA": True}
+PAPER_ANALYZER = {"SELECT": False, "PROJECT": True, "DELTA": True}
+
+
+class AggregationMapper(Mapper):
+    """Emit (sourceIP, adRevenue) for every visit."""
+
+    def map(self, key: Any, value: Any, ctx: Context) -> None:
+        ctx.emit(value.sourceIP, value.adRevenue)
+
+
+class RevenueSumReducer(Reducer):
+    """Sum ad revenue per source IP (also serves as the combiner)."""
+
+    def reduce(self, key: Any, values: Iterable[Any], ctx: Context) -> None:
+        ctx.emit(key, sum(values))
+
+
+def generate_input(path: str, n: int, n_urls: int = 1000,
+                   seed: int = 11) -> int:
+    return generate_uservisits(path, n, n_urls=n_urls, seed=seed)
+
+
+def make_job(input_path: str,
+             name: str = "pavlo-benchmark2-aggregation") -> JobConf:
+    return JobConf(
+        name=name,
+        mapper=AggregationMapper,
+        reducer=RevenueSumReducer,
+        combiner=RevenueSumReducer,
+        inputs=[RecordFileInput(input_path)],
+    )

@@ -1,0 +1,64 @@
+"""Test-data schemas (paper Figure 7 + the Pavlo benchmark tables).
+
+Figure 7 declares the two generated datasets::
+
+    WebPages (String url; int rank; String content);
+    UserVisits (String sourceIP; String destURL; long visitDate;
+                int adRevenue; String userAgent; String countryCode;
+                String languageCode; String searchWord; int duration;)
+
+The Pavlo et al. benchmark suite additionally uses ``Rankings`` (pageURL,
+pageRank, avgDuration) for the selection and join tasks and crawled
+``Documents`` for the UDF-aggregation task; those schemas are declared
+here too so the four benchmark programs are runnable end to end.
+"""
+
+from __future__ import annotations
+
+from repro.storage.serialization import Field, FieldType, Schema
+
+#: WebPages per Figure 7.
+WEBPAGES = Schema(
+    "WebPages",
+    [
+        Field("url", FieldType.STRING),
+        Field("rank", FieldType.INT),
+        Field("content", FieldType.STRING),
+    ],
+)
+
+#: UserVisits per Figure 7.
+USERVISITS = Schema(
+    "UserVisits",
+    [
+        Field("sourceIP", FieldType.STRING),
+        Field("destURL", FieldType.STRING),
+        Field("visitDate", FieldType.LONG),
+        Field("adRevenue", FieldType.INT),
+        Field("userAgent", FieldType.STRING),
+        Field("countryCode", FieldType.STRING),
+        Field("languageCode", FieldType.STRING),
+        Field("searchWord", FieldType.STRING),
+        Field("duration", FieldType.INT),
+    ],
+)
+
+#: Rankings per Pavlo et al. (Benchmark 1 selection, Benchmark 3 join).
+RANKINGS = Schema(
+    "Rankings",
+    [
+        Field("pageURL", FieldType.STRING),
+        Field("pageRank", FieldType.INT),
+        Field("avgDuration", FieldType.INT),
+    ],
+)
+
+#: Crawled documents per Pavlo et al. (Benchmark 4 UDF aggregation).
+#: The document's own URL is the record *key*; the value carries only the
+#: raw content, matching the original's "collection of HTML documents".
+DOCUMENTS = Schema(
+    "Documents",
+    [
+        Field("content", FieldType.STRING),
+    ],
+)

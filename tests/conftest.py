@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+import os
+
+import pytest
+
+from repro.storage.recordfile import RecordFileWriter
+from repro.storage.serialization import (
+    Field,
+    FieldType,
+    LONG_SCHEMA,
+    Schema,
+    STRING_SCHEMA,
+)
+
+#: The paper's Section 2 WebPage schema, used throughout analyzer tests.
+WEBPAGE = Schema(
+    "WebPage",
+    [
+        Field("url", FieldType.STRING),
+        Field("rank", FieldType.INT),
+        Field("content", FieldType.STRING),
+    ],
+)
+
+
+@pytest.fixture
+def webpage_schema():
+    return WEBPAGE
+
+
+@pytest.fixture
+def webpage_file(tmp_path):
+    """A small WebPages record file: 500 rows, rank = i % 50."""
+    path = str(tmp_path / "webpages.rf")
+    with RecordFileWriter(path, STRING_SCHEMA, WEBPAGE, block_size=2048) as w:
+        for i in range(500):
+            w.append(
+                STRING_SCHEMA.make(f"k{i}"),
+                WEBPAGE.make(f"http://x/{i}", i % 50, "c" * 40),
+            )
+    return path
+
+
+def write_webpages(path, n, rank_of=lambda i: i % 50, content="c" * 40,
+                   block_size=2048):
+    """Helper for tests needing custom rank distributions."""
+    with RecordFileWriter(str(path), STRING_SCHEMA, WEBPAGE,
+                          block_size=block_size) as w:
+        for i in range(n):
+            w.append(
+                STRING_SCHEMA.make(f"k{i}"),
+                WEBPAGE.make(f"http://x/{i}", rank_of(i), content),
+            )
+    return str(path)

@@ -1,0 +1,164 @@
+"""Tests for the ManimalAnalyzer facade: source handling, member capture,
+lifecycle checks, schema peeking, and FunctionMapper support."""
+
+import pytest
+
+from repro.core.analyzer import ManimalAnalyzer
+from repro.core.analyzer.analyzer import (
+    _instance_members,
+    _method_mutated_attrs,
+    peek_schemas,
+)
+from repro.mapreduce.api import FunctionMapper, Mapper
+from repro.mapreduce.formats import (
+    DeltaFileInput,
+    InMemoryInput,
+    ProjectedFileInput,
+    RecordFileInput,
+)
+from repro.storage.delta import DeltaFileWriter
+from repro.storage.serialization import STRING_SCHEMA
+from tests.conftest import WEBPAGE, write_webpages
+
+ANALYZER = ManimalAnalyzer()
+
+
+def fn_mapper(key, value, ctx):
+    if value.rank > 7:
+        ctx.emit(key, value.rank)
+
+
+class ClassConstMapper(Mapper):
+    THRESHOLD = 25  # class attribute, never mutated
+
+    def map(self, key, value, ctx):
+        if value.rank > self.THRESHOLD:
+            ctx.emit(key, 1)
+
+
+class InitOverridesClassAttr(ClassConstMapper):
+    def __init__(self, threshold):
+        self.THRESHOLD = threshold
+
+
+class CleanupEmitter(Mapper):
+    def __init__(self):
+        self.best = 0
+
+    def map(self, key, value, ctx):
+        if value.rank > self.best:
+            self.best = value.rank
+
+    def cleanup(self, ctx):
+        ctx.emit("max", self.best)
+
+
+class SetupMutator(Mapper):
+    def setup(self, ctx):
+        self.limit = 10
+
+    def map(self, key, value, ctx):
+        if value.rank > self.limit:
+            ctx.emit(key, 1)
+
+
+class TestFunctionMapper:
+    def test_plain_function_analyzed(self):
+        result = ANALYZER.analyze_mapper(
+            FunctionMapper(fn_mapper), STRING_SCHEMA, WEBPAGE,
+            reduce_leaks_key=True,
+        )
+        assert result.selection is not None
+        assert result.selection.formula.evaluate(
+            "k", WEBPAGE.make("u", 8, "c")
+        )
+
+
+class TestMemberCapture:
+    def test_class_attribute_folds_as_constant(self):
+        result = ANALYZER.analyze_mapper(ClassConstMapper(), STRING_SCHEMA,
+                                         WEBPAGE, reduce_leaks_key=True)
+        f = result.selection.formula
+        assert f.evaluate("k", WEBPAGE.make("u", 26, "c"))
+        assert not f.evaluate("k", WEBPAGE.make("u", 25, "c"))
+
+    def test_instance_attr_shadows_class_attr(self):
+        result = ANALYZER.analyze_mapper(InitOverridesClassAttr(3),
+                                         STRING_SCHEMA, WEBPAGE,
+                                         reduce_leaks_key=True)
+        assert result.selection.formula.evaluate(
+            "k", WEBPAGE.make("u", 4, "c")
+        )
+
+    def test_instance_members_helper(self):
+        members = _instance_members(InitOverridesClassAttr(99))
+        assert members["THRESHOLD"] == 99
+
+    def test_mutated_attrs_scanning(self):
+        assert "best" in _method_mutated_attrs(CleanupEmitter)
+        assert "limit" in _method_mutated_attrs(SetupMutator)
+        assert "THRESHOLD" not in _method_mutated_attrs(ClassConstMapper)
+
+
+class TestLifecycle:
+    def test_cleanup_emitter_gets_no_selection(self):
+        result = ANALYZER.analyze_mapper(CleanupEmitter(), STRING_SCHEMA,
+                                         WEBPAGE, reduce_leaks_key=True)
+        assert result.selection is None
+        assert any("setup()/cleanup()" in n for n in result.notes["SELECT"])
+
+    def test_setup_assigned_member_is_not_constant(self):
+        result = ANALYZER.analyze_mapper(SetupMutator(), STRING_SCHEMA,
+                                         WEBPAGE, reduce_leaks_key=True)
+        # Conservative: setup() runs per task; treated as mutated state.
+        assert result.selection is None
+
+
+class TestSchemaPeeking:
+    def test_record_file(self, webpage_file):
+        key_schema, value_schema = peek_schemas(RecordFileInput(webpage_file))
+        assert value_schema == WEBPAGE
+
+    def test_delta_file(self, tmp_path):
+        path = str(tmp_path / "d.df")
+        with DeltaFileWriter(path, STRING_SCHEMA, WEBPAGE, ["rank"]) as w:
+            w.append(STRING_SCHEMA.make("k"), WEBPAGE.make("u", 1, "c"))
+        key_schema, value_schema = peek_schemas(DeltaFileInput(path))
+        assert value_schema == WEBPAGE
+
+    def test_in_memory_has_no_schema(self):
+        assert peek_schemas(InMemoryInput([(1, 2)])) == (None, None)
+
+    def test_missing_file_degrades_gracefully(self):
+        assert peek_schemas(RecordFileInput("/nonexistent.rf")) == (None, None)
+
+
+class TestJobLevel:
+    def test_analyze_job_per_input(self, tmp_path):
+        a = write_webpages(tmp_path / "a.rf", 20)
+        b = write_webpages(tmp_path / "b.rf", 20)
+        from repro.mapreduce import JobConf
+
+        class Left(Mapper):
+            def map(self, key, value, ctx):
+                if value.rank > 5:
+                    ctx.emit(key, 1)
+
+        class Right(Mapper):
+            def map(self, key, value, ctx):
+                ctx.emit(value.url, value)
+
+        conf = JobConf(
+            name="two",
+            mapper=Left,
+            reducer=None,
+            inputs=[RecordFileInput(a, tag="l"), RecordFileInput(b, tag="r")],
+            per_input_mappers={"l": Left, "r": Right},
+        )
+        analysis = ANALYZER.analyze_job(conf)
+        assert len(analysis.inputs) == 2
+        left = [ia for ia in analysis.inputs if ia.input_tag == "l"][0]
+        right = [ia for ia in analysis.inputs if ia.input_tag == "r"][0]
+        assert left.selection is not None
+        assert right.selection is None
+        assert right.projection is None  # whole record emitted

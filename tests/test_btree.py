@@ -1,0 +1,194 @@
+"""Tests for the disk-backed B+Tree, including a model-based property test."""
+
+from bisect import bisect_left, bisect_right
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import BTreeError, CorruptFileError
+from repro.storage.btree import BTree, BTreeBuilder
+from repro.storage.orderkeys import encode_key
+from repro.storage.serialization import FieldType
+
+
+def _build(path, pairs, page_size=256):
+    builder = BTreeBuilder(str(path), page_size=page_size)
+    for k, v in pairs:
+        builder.add(k, v)
+    return builder.finish()
+
+
+def _int_pairs(n, dup_every=1):
+    return [
+        (encode_key(FieldType.INT, i // dup_every), f"v{i}".encode())
+        for i in range(n)
+    ]
+
+
+class TestBuild:
+    def test_stats(self, tmp_path):
+        stats = _build(tmp_path / "t.bt", _int_pairs(1000))
+        assert stats.n_entries == 1000
+        assert stats.n_leaves > 1
+        assert stats.n_pages > stats.n_leaves
+        assert stats.file_size > 0
+
+    def test_empty_tree(self, tmp_path):
+        _build(tmp_path / "t.bt", [])
+        tree = BTree(str(tmp_path / "t.bt"))
+        assert tree.n_entries == 0
+        assert list(tree.scan_all()) == []
+        assert tree.lookup(encode_key(FieldType.INT, 5)) == []
+
+    def test_single_entry(self, tmp_path):
+        key = encode_key(FieldType.INT, 42)
+        _build(tmp_path / "t.bt", [(key, b"payload")])
+        tree = BTree(str(tmp_path / "t.bt"))
+        assert tree.lookup(key) == [b"payload"]
+
+    def test_unsorted_input_rejected(self, tmp_path):
+        builder = BTreeBuilder(str(tmp_path / "t.bt"))
+        builder.add(encode_key(FieldType.INT, 5), b"")
+        with pytest.raises(BTreeError):
+            builder.add(encode_key(FieldType.INT, 4), b"")
+
+    def test_duplicate_keys_allowed(self, tmp_path):
+        _build(tmp_path / "t.bt", _int_pairs(300, dup_every=3))
+        tree = BTree(str(tmp_path / "t.bt"))
+        assert len(tree.lookup(encode_key(FieldType.INT, 50))) == 3
+
+    def test_double_finish_rejected(self, tmp_path):
+        builder = BTreeBuilder(str(tmp_path / "t.bt"))
+        builder.finish()
+        with pytest.raises(BTreeError):
+            builder.finish()
+
+    def test_tiny_page_size_rejected(self):
+        with pytest.raises(BTreeError):
+            BTreeBuilder("whatever", page_size=10)
+
+    def test_oversized_entry_still_stored(self, tmp_path):
+        big = b"x" * 2000  # larger than the page target
+        _build(tmp_path / "t.bt", [(encode_key(FieldType.INT, 1), big)],
+               page_size=64)
+        tree = BTree(str(tmp_path / "t.bt"))
+        assert tree.lookup(encode_key(FieldType.INT, 1)) == [big]
+
+    def test_metadata_roundtrip(self, tmp_path):
+        builder = BTreeBuilder(str(tmp_path / "t.bt"),
+                               metadata={"key_field": "rank"})
+        builder.finish()
+        tree = BTree(str(tmp_path / "t.bt"))
+        assert tree.metadata == {"key_field": "rank"}
+
+
+class TestScan:
+    def test_full_scan_in_order(self, tmp_path):
+        pairs = _int_pairs(500)
+        _build(tmp_path / "t.bt", pairs)
+        tree = BTree(str(tmp_path / "t.bt"))
+        assert list(tree.scan_all()) == pairs
+
+    def test_range_inclusive_exclusive(self, tmp_path):
+        _build(tmp_path / "t.bt", _int_pairs(100))
+        tree = BTree(str(tmp_path / "t.bt"))
+        k = lambda i: encode_key(FieldType.INT, i)
+        inc = [key for key, _ in tree.scan(k(10), k(20))]
+        assert inc[0] == k(10) and inc[-1] == k(20) and len(inc) == 11
+        exc = [key for key, _ in tree.scan(k(10), k(20), False, False)]
+        assert exc[0] == k(11) and exc[-1] == k(19) and len(exc) == 9
+
+    def test_open_ended_ranges(self, tmp_path):
+        _build(tmp_path / "t.bt", _int_pairs(100))
+        tree = BTree(str(tmp_path / "t.bt"))
+        k = lambda i: encode_key(FieldType.INT, i)
+        assert len(list(tree.scan(k(90), None))) == 10
+        assert len(list(tree.scan(None, k(9)))) == 10
+
+    def test_range_outside_data(self, tmp_path):
+        _build(tmp_path / "t.bt", _int_pairs(50))
+        tree = BTree(str(tmp_path / "t.bt"))
+        k = lambda i: encode_key(FieldType.INT, i)
+        assert list(tree.scan(k(100), k(200))) == []
+
+    def test_io_accounting_scales_with_range(self, tmp_path):
+        _build(tmp_path / "t.bt", _int_pairs(5000), page_size=256)
+        tree = BTree(str(tmp_path / "t.bt"))
+        k = lambda i: encode_key(FieldType.INT, i)
+        list(tree.scan(k(0), k(10)))
+        small = tree.bytes_read
+        tree.reset_io_stats()
+        list(tree.scan_all())
+        assert tree.bytes_read > small * 20
+
+    def test_interior_pages_cached(self, tmp_path):
+        _build(tmp_path / "t.bt", _int_pairs(5000), page_size=256)
+        tree = BTree(str(tmp_path / "t.bt"))
+        k = lambda i: encode_key(FieldType.INT, i)
+        list(tree.scan(k(10), k(10)))
+        first = tree.pages_read
+        tree.reset_io_stats()
+        list(tree.scan(k(10), k(10)))
+        assert tree.pages_read < first  # interior fetches were cached
+
+
+class TestCorruption:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.bt"
+        path.write_bytes(b"JUNKJUNKJUNKJUNKJUNK")
+        with pytest.raises(CorruptFileError):
+            BTree(str(path))
+
+    def test_too_small(self, tmp_path):
+        path = tmp_path / "tiny.bt"
+        path.write_bytes(b"RP")
+        with pytest.raises(CorruptFileError):
+            BTree(str(path))
+
+
+@st.composite
+def _key_population(draw):
+    keys = draw(st.lists(st.integers(min_value=-1000, max_value=1000),
+                         min_size=0, max_size=300))
+    return sorted(keys)
+
+
+class TestModelBased:
+    """Compare the tree against a sorted-list reference model."""
+
+    @given(
+        keys=_key_population(),
+        queries=st.lists(
+            st.tuples(st.integers(min_value=-1100, max_value=1100),
+                      st.integers(min_value=-1100, max_value=1100),
+                      st.booleans(), st.booleans()),
+            max_size=10,
+        ),
+        page_size=st.sampled_from([64, 128, 512, 4096]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_scan_matches_reference(self, keys, queries, page_size,
+                                    tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("bt") / "m.bt")
+        pairs = [
+            (encode_key(FieldType.INT, k), f"{k}:{i}".encode())
+            for i, k in enumerate(keys)
+        ]
+        _build(path, pairs, page_size=page_size)
+        tree = BTree(path)
+        assert list(tree.scan_all()) == pairs
+        for lo, hi, lo_inc, hi_inc in queries:
+            got = [
+                v for _, v in tree.scan(
+                    encode_key(FieldType.INT, lo),
+                    encode_key(FieldType.INT, hi),
+                    lo_inc, hi_inc,
+                )
+            ]
+            start = (bisect_left if lo_inc else bisect_right)(keys, lo)
+            end = (bisect_right if hi_inc else bisect_left)(keys, hi)
+            expected = [
+                f"{k}:{i}".encode()
+                for i, k in enumerate(keys)
+            ][start:max(start, end)]
+            assert got == expected, (lo, hi, lo_inc, hi_inc)

@@ -1,0 +1,106 @@
+"""Tests for the filesystem index catalog."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.optimizer.catalog import (
+    Catalog,
+    IndexEntry,
+    KIND_PROJECTION,
+    KIND_SELECTION,
+)
+from repro.exceptions import CatalogError
+
+
+def _entry(catalog, kind=KIND_SELECTION, source="/data/in.rf", **kw):
+    return IndexEntry(
+        index_id=catalog.make_entry_id(),
+        kind=kind,
+        source_path=source,
+        index_path=catalog.next_index_path(kind),
+        **kw,
+    )
+
+
+class TestRegistry:
+    def test_register_and_get(self, tmp_path):
+        cat = Catalog(str(tmp_path))
+        entry = _entry(cat, key_field="rank")
+        cat.register(entry)
+        assert cat.get(entry.index_id).key_field == "rank"
+        assert len(cat) == 1
+
+    def test_persistence_across_instances(self, tmp_path):
+        cat = Catalog(str(tmp_path))
+        entry = _entry(cat)
+        cat.register(entry)
+        cat2 = Catalog(str(tmp_path))
+        assert cat2.get(entry.index_id).kind == KIND_SELECTION
+        # Counters continue, no id collisions.
+        e2 = _entry(cat2, kind=KIND_PROJECTION)
+        cat2.register(e2)
+        assert len(cat2) == 2
+
+    def test_duplicate_id_rejected(self, tmp_path):
+        cat = Catalog(str(tmp_path))
+        entry = _entry(cat)
+        cat.register(entry)
+        with pytest.raises(CatalogError):
+            cat.register(entry)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        cat = Catalog(str(tmp_path))
+        entry = _entry(cat)
+        entry.kind = "bogus"
+        with pytest.raises(CatalogError):
+            cat.register(entry)
+
+    def test_remove(self, tmp_path):
+        cat = Catalog(str(tmp_path))
+        entry = _entry(cat)
+        cat.register(entry)
+        cat.remove(entry.index_id)
+        assert len(cat) == 0
+        with pytest.raises(CatalogError):
+            cat.remove(entry.index_id)
+
+    def test_corrupt_catalog_file_rejected(self, tmp_path):
+        cat = Catalog(str(tmp_path))
+        cat.register(_entry(cat))
+        with open(os.path.join(str(tmp_path), Catalog.FILENAME), "w") as f:
+            f.write("{not json")
+        with pytest.raises(CatalogError):
+            Catalog(str(tmp_path))
+
+
+class TestQueries:
+    def test_entries_for_source(self, tmp_path):
+        cat = Catalog(str(tmp_path))
+        a = _entry(cat, source="/data/a.rf")
+        b = _entry(cat, source="/data/b.rf", kind=KIND_PROJECTION)
+        c = _entry(cat, source="/data/a.rf", kind=KIND_PROJECTION)
+        for e in (a, b, c):
+            cat.register(e)
+        assert len(cat.entries_for("/data/a.rf")) == 2
+        assert len(cat.entries_for("/data/a.rf", KIND_PROJECTION)) == 1
+        assert cat.entries_for("/data/zzz.rf") == []
+
+    def test_source_path_normalized(self, tmp_path):
+        cat = Catalog(str(tmp_path))
+        entry = _entry(cat, source="/data/x/../a.rf")
+        cat.register(entry)
+        assert len(cat.entries_for("/data/a.rf")) == 1
+
+
+class TestSpaceOverhead:
+    def test_overhead_fraction(self, tmp_path):
+        cat = Catalog(str(tmp_path))
+        entry = _entry(cat)
+        entry.stats = {"source_bytes": 1000, "index_bytes": 200}
+        assert entry.space_overhead() == pytest.approx(0.2)
+
+    def test_overhead_unknown_without_stats(self, tmp_path):
+        cat = Catalog(str(tmp_path))
+        assert _entry(cat).space_overhead() is None

@@ -1,0 +1,133 @@
+"""Tests for CFG structure queries and path enumeration."""
+
+import ast
+import textwrap
+
+from repro.core.analyzer import ir, lower_function
+from repro.core.analyzer.cfg import CFG, CondJump, ExitTerm, Jump
+
+
+def lower(source):
+    tree = ast.parse(textwrap.dedent(source))
+    return lower_function(tree.body[0], is_method=True)
+
+
+def _emit_block(lowered):
+    emit = lowered.emit_statements()[0]
+    return lowered.cfg.statement_block(emit)
+
+
+class TestStructure:
+    def test_predecessors(self):
+        lowered = lower("""
+            def map(self, key, value, ctx):
+                if value.rank > 1:
+                    ctx.emit(key, 1)
+        """)
+        preds = lowered.cfg.predecessors()
+        emit_block = _emit_block(lowered)
+        assert len(preds[emit_block]) == 1
+
+    def test_reachable_from_entry_excludes_dead_blocks(self):
+        lowered = lower("""
+            def map(self, key, value, ctx):
+                return
+                ctx.emit(key, 1)
+        """)
+        reachable = lowered.cfg.reachable_from_entry()
+        # Lowering drops dead statements, so no block holds the emit; the
+        # entry block itself is of course reachable.
+        assert lowered.cfg.entry in reachable
+
+    def test_blocks_reaching(self):
+        lowered = lower("""
+            def map(self, key, value, ctx):
+                if value.rank > 1:
+                    if value.rank < 50:
+                        ctx.emit(key, 1)
+        """)
+        emit_block = _emit_block(lowered)
+        reaching = lowered.cfg.blocks_reaching(emit_block)
+        assert lowered.cfg.entry in reaching
+        assert emit_block in reaching
+        # The else-join blocks do not reach the emit.
+        assert len(reaching) < len(lowered.cfg.blocks)
+
+    def test_statement_block_identity(self):
+        lowered = lower("""
+            def map(self, key, value, ctx):
+                x = 1
+                ctx.emit(key, x)
+        """)
+        for stmt in lowered.cfg.all_statements():
+            block_id = lowered.cfg.statement_block(stmt)
+            assert any(s is stmt for s in lowered.cfg.block(block_id).stmts)
+
+
+class TestPaths:
+    def test_two_paths_through_if_else_chain(self):
+        lowered = lower("""
+            def map(self, key, value, ctx):
+                if value.rank > 10:
+                    x = 1
+                else:
+                    x = 2
+                ctx.emit(key, x)
+        """)
+        emit_block = _emit_block(lowered)
+        paths = lowered.cfg.paths_to_block(emit_block)
+        assert len(paths) == 2
+        polarities = {p[0][2] for p in paths}
+        assert polarities == {True, False}
+
+    def test_cycle_returns_none(self):
+        lowered = lower("""
+            def map(self, key, value, ctx):
+                for w in value.words:
+                    ctx.emit(w, 1)
+        """)
+        emit_block = _emit_block(lowered)
+        assert lowered.cfg.paths_to_block(emit_block) is None
+
+    def test_max_paths_truncation(self):
+        # 11 sequential ifs -> up to 2^11 paths to the final emit.
+        conds = "\n".join(
+            f"    if value.rank > {i}:\n        x{i} = 1"
+            for i in range(11)
+        )
+        lowered = lower(
+            "def map(self, key, value, ctx):\n"
+            + conds
+            + "\n    ctx.emit(key, 1)\n"
+        )
+        emit_block = _emit_block(lowered)
+        assert lowered.cfg.paths_to_block(emit_block, max_paths=64) is None
+        assert lowered.cfg.paths_to_block(emit_block, max_paths=4096) is not None
+
+    def test_path_conditions_carry_block_ids(self):
+        lowered = lower("""
+            def map(self, key, value, ctx):
+                if value.rank > 1:
+                    ctx.emit(key, 1)
+        """)
+        paths = lowered.cfg.paths_to_block(_emit_block(lowered))
+        (block_id, cond, polarity), = paths[0]
+        assert block_id in lowered.cfg.blocks
+        assert polarity is True
+
+
+class TestManualCFG:
+    def test_new_block_ids_sequential(self):
+        cfg = CFG()
+        b0, b1, b2 = cfg.new_block(), cfg.new_block(), cfg.new_block()
+        assert [b0.block_id, b1.block_id, b2.block_id] == [0, 1, 2]
+
+    def test_successors_by_terminator(self):
+        cfg = CFG()
+        a, b, c = cfg.new_block(), cfg.new_block(), cfg.new_block()
+        a.terminator = Jump(b.block_id)
+        b.terminator = CondJump(ir.Const(True), a.block_id, c.block_id)
+        assert a.successors() == [b.block_id]
+        assert set(b.successors()) == {a.block_id, c.block_id}
+        assert c.successors() == []
+        assert cfg.has_cycle()

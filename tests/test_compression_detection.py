@@ -1,0 +1,137 @@
+"""Tests for delta-compression and direct-operation detection (Appendix C)."""
+
+from repro.core.analyzer import ManimalAnalyzer
+from repro.mapreduce.api import Mapper, Reducer
+from repro.mapreduce.formats import InMemoryInput
+from repro.mapreduce.job import JobConf
+from repro.storage.serialization import (
+    Field,
+    FieldType,
+    OpaqueSchema,
+    Record,
+    Schema,
+    STRING_SCHEMA,
+)
+from repro.workloads.schemas import DOCUMENTS, USERVISITS
+from tests.conftest import WEBPAGE
+
+ANALYZER = ManimalAnalyzer()
+
+
+def analyze(mapper, value_schema=USERVISITS, reduce_leaks_key=False,
+            sort_required=False):
+    return ANALYZER.analyze_mapper(
+        mapper, STRING_SCHEMA, value_schema,
+        reduce_leaks_key=reduce_leaks_key,
+        output_sort_required=sort_required,
+    )
+
+
+class GroupByURL(Mapper):
+    def map(self, key, value, ctx):
+        ctx.emit(value.destURL, value.duration)
+
+
+class URLInArithmetic(Mapper):
+    def map(self, key, value, ctx):
+        ctx.emit(len(value.destURL), value.duration)
+
+
+class URLComparedToConstant(Mapper):
+    def map(self, key, value, ctx):
+        if value.destURL == "http://x":
+            ctx.emit(key, 1)
+
+
+class URLOrderedComparison(Mapper):
+    def map(self, key, value, ctx):
+        if value.destURL > "m":
+            ctx.emit(value.destURL, 1)
+
+
+class TestDelta:
+    def test_numeric_schema_detected(self):
+        r = analyze(GroupByURL())
+        assert r.delta is not None
+        assert r.delta.fields == ["visitDate", "adRevenue", "duration"]
+
+    def test_no_numeric_fields(self):
+        r = analyze(GroupByURL.__new__(GroupByURL), value_schema=DOCUMENTS)
+        assert r.delta is None
+
+    def test_opaque_schema_undetected(self):
+        opaque = OpaqueSchema(
+            "OpaqueUV", USERVISITS.fields,
+            encoder=lambda r: b"", decoder=lambda s, raw: Record(s, []),
+        )
+        r = analyze(GroupByURL(), value_schema=opaque)
+        assert r.delta is None
+        assert any("opaque" in n for n in r.notes["DELTA"])
+
+    def test_schema_only_no_code_needed(self):
+        """Delta detection works even for unanalyzable mapper code."""
+        class Unanalyzable(Mapper):
+            def map(self, key, value, ctx):
+                with open("/dev/null") as f:
+                    pass
+
+        r = analyze(Unanalyzable())
+        assert r.delta is not None
+
+
+class TestDirectOperation:
+    def test_emit_key_only_use_eligible(self):
+        r = analyze(GroupByURL())
+        assert [d.field_name for d in r.direct] == ["destURL"]
+        assert r.direct[0].uses == ["emit-key"]
+
+    def test_sorted_output_blocks(self):
+        """Paper footnote 1: sorted final output forbids key compression."""
+        r = analyze(GroupByURL(), sort_required=True)
+        assert r.direct == []
+        assert any("sorted" in n for n in r.notes["DIRECT"])
+
+    def test_reduce_key_leak_blocks(self):
+        r = analyze(GroupByURL(), reduce_leaks_key=True)
+        assert r.direct == []
+        assert any("reducer emits" in n for n in r.notes["DIRECT"])
+
+    def test_non_equality_use_blocks(self):
+        r = analyze(URLInArithmetic())
+        assert all(d.field_name != "destURL" for d in r.direct)
+
+    def test_constant_comparison_blocks(self):
+        """Stricter than the paper (documented): constants cannot be
+        re-encoded without modifying user code."""
+        r = analyze(URLComparedToConstant())
+        assert all(d.field_name != "destURL" for d in r.direct)
+        assert any("constant" in n for n in r.notes["DIRECT"])
+
+    def test_ordered_comparison_blocks(self):
+        r = analyze(URLOrderedComparison())
+        assert all(d.field_name != "destURL" for d in r.direct)
+
+
+class LeakyReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, sum(values))
+
+
+class NonLeakyReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(None, sum(values))
+
+
+class TestReduceLeakAnalysis:
+    def _conf(self, reducer):
+        return JobConf(name="t", mapper=GroupByURL, reducer=reducer,
+                       inputs=[InMemoryInput([(1, 1)])])
+
+    def test_key_emitting_reducer_leaks(self):
+        assert ANALYZER.reduce_leaks_key(self._conf(LeakyReducer)) is True
+
+    def test_aggregate_only_reducer_does_not_leak(self):
+        assert ANALYZER.reduce_leaks_key(self._conf(NonLeakyReducer)) is False
+
+    def test_map_only_job_leaks(self):
+        assert ANALYZER.reduce_leaks_key(self._conf(None)) is True

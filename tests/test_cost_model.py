@@ -1,0 +1,96 @@
+"""Tests for the deterministic cluster cost model."""
+
+import pytest
+
+from repro.mapreduce.cost import MB, CostModel, PAPER_CLUSTER
+from repro.mapreduce.metrics import JobMetrics
+
+
+def _metrics(**overrides):
+    base = JobMetrics(
+        map_tasks=10,
+        map_input_records=1_000_000,
+        map_input_stored_bytes=int(100 * MB),
+        map_input_logical_bytes=int(100 * MB),
+        fields_deserialized=9_000_000,
+        map_output_records=1_000_000,
+        map_output_bytes=int(20 * MB),
+        shuffle_records=1_000_000,
+        shuffle_bytes=int(20 * MB),
+        shuffle_key_bytes=int(8 * MB),
+        reduce_groups=1000,
+        reduce_input_records=1_000_000,
+        reduce_output_records=1000,
+        reduce_output_bytes=int(1 * MB),
+    )
+    for k, v in overrides.items():
+        setattr(base, k, v)
+    return base
+
+
+class TestSimulation:
+    def test_deterministic(self):
+        m = _metrics()
+        assert (
+            PAPER_CLUSTER.simulate(m).total_s
+            == PAPER_CLUSTER.simulate(m).total_s
+        )
+
+    def test_startup_floor(self):
+        empty = JobMetrics()
+        sim = PAPER_CLUSTER.simulate(empty)
+        assert sim.total_s == pytest.approx(PAPER_CLUSTER.startup_s)
+
+    def test_breakdown_sums_to_total(self):
+        sim = PAPER_CLUSTER.simulate(_metrics())
+        bd = sim.breakdown()
+        parts = sum(v for k, v in bd.items() if k != "total")
+        assert parts == pytest.approx(bd["total"])
+
+    def test_fewer_bytes_is_faster(self):
+        slow = PAPER_CLUSTER.simulate(_metrics())
+        fast = PAPER_CLUSTER.simulate(
+            _metrics(map_input_stored_bytes=int(1 * MB),
+                     map_input_logical_bytes=int(1 * MB))
+        )
+        assert fast.total_s < slow.total_s
+
+    def test_delta_saves_io_not_decode(self):
+        """The Table 5 asymmetry: stored bytes shrink, logical don't."""
+        plain = PAPER_CLUSTER.simulate(_metrics())
+        delta = PAPER_CLUSTER.simulate(
+            _metrics(map_input_stored_bytes=int(50 * MB))
+        )
+        saved = plain.total_s - delta.total_s
+        assert 0 < saved < plain.read_s  # only the read share improves
+
+    def test_scale_is_linear_in_volumes(self):
+        m = _metrics()
+        s1 = PAPER_CLUSTER.simulate(m, scale=1.0)
+        s10 = PAPER_CLUSTER.simulate(m, scale=10.0)
+        assert s10.read_s == pytest.approx(10 * s1.read_s)
+        assert s10.startup_s == s1.startup_s  # startup does not scale
+
+    def test_more_nodes_faster(self):
+        small = CostModel(nodes=5).simulate(_metrics())
+        big = CostModel(nodes=50).simulate(_metrics())
+        assert big.total_s < small.total_s
+
+    def test_sort_cost_grows_with_key_width(self):
+        narrow = PAPER_CLUSTER.simulate(_metrics(shuffle_key_bytes=int(1 * MB)))
+        wide = PAPER_CLUSTER.simulate(_metrics(shuffle_key_bytes=int(64 * MB)))
+        assert wide.sort_s > narrow.sort_s
+
+
+class TestScaledMetrics:
+    def test_scaled_preserves_ratios(self):
+        m = _metrics()
+        scaled = m.scaled(7.0)
+        assert scaled.map_input_stored_bytes == 7 * m.map_input_stored_bytes
+        assert scaled.shuffle_records == 7 * m.shuffle_records
+        assert scaled.map_tasks == m.map_tasks
+
+    def test_wall_seconds_untouched(self):
+        m = _metrics()
+        m.wall_seconds = 1.5
+        assert m.scaled(100).wall_seconds == 1.5

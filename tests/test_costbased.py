@@ -1,0 +1,148 @@
+"""Tests for the cost-based optimizer (paper's long-run direction)."""
+
+import pytest
+
+from repro.core.manimal import Manimal
+from repro.core.optimizer import catalog as cat
+from repro.core.optimizer.costbased import CostBasedOptimizer
+from repro.mapreduce import JobConf, RecordFileInput, run_job
+from repro.mapreduce.api import Mapper, Reducer
+from repro.storage.recordfile import RecordFileWriter
+from repro.storage.serialization import STRING_SCHEMA
+from tests.conftest import WEBPAGE, write_webpages
+
+
+class SelectiveMapper(Mapper):
+    """~2% selectivity: the selection index should win under any policy."""
+
+    def map(self, key, value, ctx):
+        if value.rank > 48:
+            ctx.emit(value.rank, 1)
+
+
+class NonSelectiveMapper(Mapper):
+    """~98% selectivity over wide records: scanning the tiny projected
+    file beats a B+Tree range covering nearly all full records."""
+
+    def map(self, key, value, ctx):
+        if value.rank > 0:
+            ctx.emit(value.rank, 1)
+
+
+class CountReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, sum(values))
+
+
+def _wide_file(tmp_path, n=800):
+    return write_webpages(tmp_path / "wide.rf", n, content="x" * 1500)
+
+
+def _job(path, mapper):
+    return JobConf(name="cb", mapper=mapper, reducer=CountReducer,
+                   inputs=[RecordFileInput(path)])
+
+
+def _system_with_both_indexes(tmp_path, job):
+    """Build a plain-selection index and a projection+delta index."""
+    system = Manimal(str(tmp_path / "cat"))
+    system.build_indexes(job, allowed_kinds=[cat.KIND_SELECTION])
+    system.build_indexes(job, allowed_kinds=[cat.KIND_PROJECTION_DELTA])
+    return system
+
+
+class TestSelectivityEstimation:
+    def test_estimates_match_data(self, tmp_path):
+        path = write_webpages(tmp_path / "w.rf", 400)  # ranks uniform 0..49
+        system = Manimal(str(tmp_path / "cat"))
+        cbo = CostBasedOptimizer(system.catalog)
+        job = _job(path, SelectiveMapper())
+        ia = system.analyze(job).inputs[0]
+        sel = cbo.estimate_selectivity(path, ia)
+        assert sel == pytest.approx(0.02, abs=0.02)
+
+    def test_no_formula_is_full_selectivity(self, tmp_path):
+        path = write_webpages(tmp_path / "w.rf", 50)
+
+        class NoFilter(Mapper):
+            def map(self, key, value, ctx):
+                ctx.emit(value.rank, 1)
+
+        system = Manimal(str(tmp_path / "cat"))
+        cbo = CostBasedOptimizer(system.catalog)
+        ia = system.analyze(_job(path, NoFilter())).inputs[0]
+        assert cbo.estimate_selectivity(path, ia) == 1.0
+
+    def test_estimates_cached(self, tmp_path):
+        path = write_webpages(tmp_path / "w.rf", 100)
+        system = Manimal(str(tmp_path / "cat"))
+        cbo = CostBasedOptimizer(system.catalog)
+        ia = system.analyze(_job(path, SelectiveMapper())).inputs[0]
+        first = cbo.estimate_selectivity(path, ia)
+        assert cbo.estimate_selectivity(path, ia) == first
+        assert len(cbo._selectivity_cache) == 1
+
+
+class TestPlanChoice:
+    def test_selective_filter_keeps_selection_index(self, tmp_path):
+        path = _wide_file(tmp_path)
+        job = _job(path, SelectiveMapper())
+        system = _system_with_both_indexes(tmp_path, job)
+        analysis = system.analyze(job)
+        cbo = CostBasedOptimizer(system.catalog)
+        plan = cbo.plan(job, analysis)
+        assert plan.plans[0].entry.kind == cat.KIND_SELECTION
+
+    def test_non_selective_filter_switches_to_projection(self, tmp_path):
+        path = _wide_file(tmp_path)
+        job = _job(path, NonSelectiveMapper())
+        system = _system_with_both_indexes(tmp_path, job)
+        analysis = system.analyze(job)
+
+        rule_based = system.optimizer.plan(job, analysis)
+        assert rule_based.plans[0].entry.kind == cat.KIND_SELECTION, \
+            "the hard-coded ranking prefers selection regardless"
+
+        cbo = CostBasedOptimizer(system.catalog)
+        cost_based = cbo.plan(job, analysis)
+        assert cost_based.plans[0].entry.kind == cat.KIND_PROJECTION_DELTA, \
+            "cost estimation must notice the filter keeps ~98% of records"
+
+    def test_both_choices_produce_identical_output(self, tmp_path):
+        path = _wide_file(tmp_path)
+        job = _job(path, NonSelectiveMapper())
+        system = _system_with_both_indexes(tmp_path, job)
+        analysis = system.analyze(job)
+        baseline = run_job(job)
+        for optimizer in (system.optimizer,
+                          CostBasedOptimizer(system.catalog)):
+            plan = optimizer.plan(job, analysis)
+            result = system.execute(job, plan)
+            assert sorted(result.outputs) == sorted(baseline.outputs)
+
+    def test_cost_based_beats_rule_based_on_bytes(self, tmp_path):
+        path = _wide_file(tmp_path)
+        job = _job(path, NonSelectiveMapper())
+        system = _system_with_both_indexes(tmp_path, job)
+        analysis = system.analyze(job)
+        rule_result = system.execute(job, system.optimizer.plan(job, analysis))
+        cbo_result = system.execute(
+            job, CostBasedOptimizer(system.catalog).plan(job, analysis)
+        )
+        assert cbo_result.metrics.map_input_stored_bytes < \
+            rule_result.metrics.map_input_stored_bytes / 3
+
+    def test_unoptimized_estimate_exceeds_indexed(self, tmp_path):
+        path = _wide_file(tmp_path)
+        job = _job(path, SelectiveMapper())
+        system = _system_with_both_indexes(tmp_path, job)
+        analysis = system.analyze(job)
+        source = job.inputs[0]
+        ia = analysis.inputs[0]
+        cbo = CostBasedOptimizer(system.catalog)
+        plans = cbo.applicable_plans(0, source, ia)
+        assert plans
+        plain = cbo.estimate_unoptimized_cost(source, ia)
+        assert all(
+            cbo.estimate_plan_cost(source, ia, p) < plain for p in plans
+        )

@@ -1,0 +1,45 @@
+"""Tests for the counters accumulator."""
+
+from repro.mapreduce.counters import Counters
+
+
+class TestCounters:
+    def test_increment_and_get(self):
+        c = Counters()
+        c.increment("g", "n")
+        c.increment("g", "n", 4)
+        assert c.get("g", "n") == 5
+        assert c.get("g", "missing") == 0
+        assert c.get("missing", "n") == 0
+
+    def test_merge(self):
+        a, b = Counters(), Counters()
+        a.increment("g", "x", 2)
+        b.increment("g", "x", 3)
+        b.increment("h", "y", 1)
+        a.merge(b)
+        assert a.get("g", "x") == 5
+        assert a.get("h", "y") == 1
+        # Merging does not alias the source.
+        b.increment("h", "y", 10)
+        assert a.get("h", "y") == 1
+
+    def test_items_sorted(self):
+        c = Counters()
+        c.increment("b", "z")
+        c.increment("a", "y")
+        c.increment("a", "x")
+        assert list(c.items()) == [("a", "x", 1), ("a", "y", 1), ("b", "z", 1)]
+
+    def test_to_dict_snapshot(self):
+        c = Counters()
+        c.increment("g", "n", 7)
+        snap = c.to_dict()
+        assert snap == {"g": {"n": 7}}
+        snap["g"]["n"] = 0
+        assert c.get("g", "n") == 7
+
+    def test_repr(self):
+        c = Counters()
+        c.increment("g", "n", 2)
+        assert "g.n=2" in repr(c)

@@ -1,0 +1,158 @@
+"""Tests for reaching definitions and use-def DAGs (paper Section 3.1)."""
+
+import ast
+import textwrap
+
+from repro.core.analyzer import ir, lower_function
+from repro.core.analyzer.dataflow import (
+    ReachingDefinitions,
+    UseDefNode,
+    build_use_def_dag,
+)
+
+
+def lower(source):
+    tree = ast.parse(textwrap.dedent(source))
+    return lower_function(tree.body[0], is_method=True)
+
+
+def _assign_to(lowered, name):
+    return [
+        s for s in lowered.cfg.all_statements()
+        if isinstance(s, ir.Assign) and s.target == name
+    ]
+
+
+class TestReachingDefinitions:
+    def test_straight_line_single_def(self):
+        lowered = lower("""
+            def map(self, key, value, ctx):
+                x = value.rank
+                y = x + 1
+                ctx.emit(key, y)
+        """)
+        rd = ReachingDefinitions(lowered.cfg)
+        y_def = _assign_to(lowered, "y")[0]
+        defs = rd.reaching_def_for(y_def, "x")
+        assert len(defs) == 1
+        assert isinstance(defs[0].expr, ir.FieldLoad)
+
+    def test_redefinition_kills(self):
+        lowered = lower("""
+            def map(self, key, value, ctx):
+                x = 1
+                x = 2
+                y = x
+                ctx.emit(key, y)
+        """)
+        rd = ReachingDefinitions(lowered.cfg)
+        y_def = _assign_to(lowered, "y")[0]
+        defs = rd.reaching_def_for(y_def, "x")
+        assert len(defs) == 1
+        assert defs[0].expr.value == 2
+
+    def test_branch_merge_two_defs(self):
+        lowered = lower("""
+            def map(self, key, value, ctx):
+                if value.rank > 0:
+                    x = 1
+                else:
+                    x = 2
+                ctx.emit(key, x)
+        """)
+        rd = ReachingDefinitions(lowered.cfg)
+        emit = lowered.emit_statements()[0]
+        defs = rd.reaching_def_for(emit, "x")
+        assert sorted(d.expr.value for d in defs) == [1, 2]
+
+    def test_param_has_no_defs(self):
+        lowered = lower("""
+            def map(self, key, value, ctx):
+                ctx.emit(key, value)
+        """)
+        rd = ReachingDefinitions(lowered.cfg)
+        emit = lowered.emit_statements()[0]
+        assert rd.reaching_def_for(emit, "value") == []
+
+    def test_loop_carried_definition_reaches_header(self):
+        lowered = lower("""
+            def map(self, key, value, ctx):
+                x = 0
+                while x < 10:
+                    x = x + 1
+                ctx.emit(key, x)
+        """)
+        rd = ReachingDefinitions(lowered.cfg)
+        emit = lowered.emit_statements()[0]
+        # Both the initial and the loop-body definitions reach the exit use.
+        assert len(rd.reaching_def_for(emit, "x")) == 2
+
+    def test_member_pseudo_variable_tracked(self):
+        lowered = lower("""
+            def map(self, key, value, ctx):
+                self.acc = value.rank
+                ctx.emit(key, self.acc)
+        """)
+        rd = ReachingDefinitions(lowered.cfg)
+        emit = lowered.emit_statements()[0]
+        # The emit's temp for self.acc resolves through the AttrAssign.
+        block_end = rd.defs_reaching_block_end(
+            lowered.cfg.statement_block(emit)
+        )
+        assert "self.acc" in block_end
+
+
+class TestUseDefDAG:
+    def test_fig5_shape(self):
+        """The paper's Figure 5: use-def chains of the Section 2 mapper."""
+        lowered = lower("""
+            def map(self, k, v, ctx):
+                if v.rank > 1:
+                    ctx.emit(k, 1)
+        """)
+        rd = ReachingDefinitions(lowered.cfg)
+        emit = lowered.emit_statements()[0]
+        dag = build_use_def_dag(emit, [emit.key, emit.value], rd,
+                                lowered.roles)
+        kinds = {n.kind for n in dag.nodes()}
+        assert UseDefNode.KIND_PARAM in kinds   # k
+        assert UseDefNode.KIND_CONST in kinds   # 1
+
+    def test_member_terminal(self):
+        lowered = lower("""
+            def map(self, key, value, ctx):
+                ctx.emit(key, self.threshold)
+        """)
+        rd = ReachingDefinitions(lowered.cfg)
+        emit = lowered.emit_statements()[0]
+        dag = build_use_def_dag(emit, [emit.value], rd, lowered.roles)
+        assert UseDefNode.KIND_MEMBER in dag.terminal_kinds()
+
+    def test_recursive_expansion_through_locals(self):
+        lowered = lower("""
+            def map(self, key, value, ctx):
+                a = value.rank
+                b = a * 2
+                c = b + 1
+                ctx.emit(key, c)
+        """)
+        rd = ReachingDefinitions(lowered.cfg)
+        emit = lowered.emit_statements()[0]
+        dag = build_use_def_dag(emit, [emit.value], rd, lowered.roles)
+        stmt_nodes = [n for n in dag.nodes() if n.kind == UseDefNode.KIND_STMT]
+        # a, b, c definitions all appear in the expansion.
+        assert len(stmt_nodes) >= 4
+        assert UseDefNode.KIND_PARAM in dag.terminal_kinds()
+
+    def test_dot_rendering(self):
+        lowered = lower("""
+            def map(self, k, v, ctx):
+                if v.rank > 1:
+                    ctx.emit(k, 1)
+        """)
+        rd = ReachingDefinitions(lowered.cfg)
+        emit = lowered.emit_statements()[0]
+        dag = build_use_def_dag(emit, [emit.key, emit.value], rd,
+                                lowered.roles)
+        dot = dag.to_dot()
+        assert dot.startswith("digraph")

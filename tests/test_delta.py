@@ -1,0 +1,114 @@
+"""Tests for delta-compressed record files."""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import SchemaError, SerializationError
+from repro.storage.delta import DeltaFileReader, DeltaFileWriter
+from repro.storage.recordfile import RecordFileWriter
+from repro.storage.serialization import (
+    Field,
+    FieldType,
+    LONG_SCHEMA,
+    Schema,
+)
+
+TS = Schema(
+    "Timeseries",
+    [
+        Field("host", FieldType.STRING),
+        Field("ts", FieldType.LONG),
+        Field("val", FieldType.INT),
+    ],
+)
+
+
+def _write_delta(path, rows, block_size=512, fields=("ts", "val")):
+    with DeltaFileWriter(str(path), LONG_SCHEMA, TS, list(fields),
+                         block_size=block_size) as w:
+        for i, (host, ts, val) in enumerate(rows):
+            w.append(LONG_SCHEMA.make(i), TS.make(host, ts, val))
+    return str(path)
+
+
+def _rows(n):
+    return [("h1", 1_000_000_000 + i * 30, 100 + (i % 7)) for i in range(n)]
+
+
+class TestRoundtrip:
+    def test_values_reconstructed(self, tmp_path):
+        path = _write_delta(tmp_path / "d.df", _rows(500))
+        with DeltaFileReader(path) as r:
+            got = [(v.host, v.ts, v.val) for _, v in r.iter_records()]
+        assert got == _rows(500)
+
+    def test_block_boundary_reset(self, tmp_path):
+        # Tiny blocks force many resets; every block must decode alone.
+        path = _write_delta(tmp_path / "d.df", _rows(300), block_size=64)
+        with DeltaFileReader(path) as r:
+            blocks = r.blocks()
+        assert len(blocks) > 3
+        with DeltaFileReader(path) as r:
+            middle = list(r.iter_records(blocks[2:3]))
+        offset = sum(b.n_records for b in blocks[:2])
+        assert middle[0][1].ts == 1_000_000_000 + offset * 30
+
+    def test_negative_deltas(self, tmp_path):
+        rows = [("h", 1000 - i * 5, -i) for i in range(100)]
+        path = _write_delta(tmp_path / "d.df", rows)
+        with DeltaFileReader(path) as r:
+            got = [(v.host, v.ts, v.val) for _, v in r.iter_records()]
+        assert got == rows
+
+    def test_header_metadata(self, tmp_path):
+        path = _write_delta(tmp_path / "d.df", _rows(3))
+        with DeltaFileReader(path) as r:
+            assert r.delta_fields == ["ts", "val"]
+            assert r.value_schema == TS
+            assert r.count_records() == 3
+
+    @given(values=st.lists(st.integers(min_value=-(1 << 40), max_value=1 << 40),
+                           min_size=1, max_size=80))
+    @settings(max_examples=25, deadline=None)
+    def test_arbitrary_sequences_roundtrip(self, values, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("d") / "p.df")
+        rows = [("h", v, 0) for v in values]
+        _write_delta(path, rows, block_size=96)
+        with DeltaFileReader(path) as r:
+            assert [v.ts for _, v in r.iter_records()] == values
+
+
+class TestCompressionEffect:
+    def test_sequential_data_shrinks(self, tmp_path):
+        """The Table 5 effect: sorted numeric runs compress well."""
+        rows = _rows(2000)
+        plain = str(tmp_path / "plain.rf")
+        with RecordFileWriter(plain, LONG_SCHEMA, TS) as w:
+            for i, (h, ts, val) in enumerate(rows):
+                w.append(LONG_SCHEMA.make(i), TS.make(h, ts, val))
+        delta = _write_delta(tmp_path / "delta.df", rows)
+        assert os.path.getsize(delta) < os.path.getsize(plain) * 0.75
+
+
+class TestValidation:
+    def test_non_numeric_field_rejected(self, tmp_path):
+        with pytest.raises(SchemaError):
+            DeltaFileWriter(str(tmp_path / "x.df"), LONG_SCHEMA, TS, ["host"])
+
+    def test_unknown_field_rejected(self, tmp_path):
+        with pytest.raises(SchemaError):
+            DeltaFileWriter(str(tmp_path / "x.df"), LONG_SCHEMA, TS, ["nope"])
+
+    def test_non_int_value_rejected(self, tmp_path):
+        w = DeltaFileWriter(str(tmp_path / "x.df"), LONG_SCHEMA, TS, ["ts"])
+        with pytest.raises(SerializationError):
+            w.append(LONG_SCHEMA.make(0), TS.make("h", "not-an-int", 0))
+        w.close()
+
+    def test_write_after_close_rejected(self, tmp_path):
+        w = DeltaFileWriter(str(tmp_path / "x.df"), LONG_SCHEMA, TS, ["ts"])
+        w.close()
+        with pytest.raises(SerializationError):
+            w.append(LONG_SCHEMA.make(0), TS.make("h", 1, 0))

@@ -1,0 +1,113 @@
+"""Tests for dictionary-compressed (direct-operation) record files."""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import SchemaError
+from repro.storage.dictionary import (
+    DictionaryFileReader,
+    DictionaryFileWriter,
+    compressed_schema,
+)
+from repro.storage.recordfile import RecordFileWriter
+from repro.storage.serialization import (
+    Field,
+    FieldType,
+    LONG_SCHEMA,
+    Schema,
+)
+
+VISIT = Schema(
+    "Visit",
+    [
+        Field("url", FieldType.STRING),
+        Field("duration", FieldType.INT),
+    ],
+)
+
+
+def _write(path, rows, block_size=512):
+    with DictionaryFileWriter(str(path), LONG_SCHEMA, VISIT, "url",
+                              block_size=block_size) as w:
+        for i, (url, duration) in enumerate(rows):
+            w.append(LONG_SCHEMA.make(i), VISIT.make(url, duration))
+    return str(path)
+
+
+class TestCompression:
+    def test_codes_preserve_equality(self, tmp_path):
+        rows = [(f"http://u/{i % 5}", i) for i in range(100)]
+        path = _write(tmp_path / "d.dx", rows)
+        with DictionaryFileReader(path) as r:
+            decoded = list(r.iter_records())
+        # Grouping by code must equal grouping by original URL.
+        by_code = {}
+        for (_, v) in decoded:
+            by_code.setdefault(v.url, 0)
+            by_code[v.url] += 1
+        assert sorted(by_code.values()) == [20] * 5
+        assert all(isinstance(v.url, int) for _, v in decoded)
+
+    def test_first_appearance_code_order(self, tmp_path):
+        rows = [("b", 0), ("a", 1), ("b", 2), ("c", 3)]
+        path = _write(tmp_path / "d.dx", rows)
+        with DictionaryFileReader(path) as r:
+            codes = [v.url for _, v in r.iter_records()]
+            assert codes == [0, 1, 0, 2]
+            assert r.dictionary() == ["b", "a", "c"]
+
+    def test_compressed_schema_type(self):
+        cs = compressed_schema(VISIT, "url")
+        assert cs.field("url").ftype is FieldType.INT
+        assert cs.field("duration").ftype is FieldType.INT
+
+    def test_repeated_strings_shrink_file(self, tmp_path):
+        url = "http://www.example.com/a/very/long/path/to/a/page.html"
+        rows = [(url, i) for i in range(1000)]
+        plain = str(tmp_path / "p.rf")
+        with RecordFileWriter(plain, LONG_SCHEMA, VISIT) as w:
+            for i, (u, d) in enumerate(rows):
+                w.append(LONG_SCHEMA.make(i), VISIT.make(u, d))
+        compressed = _write(tmp_path / "c.dx", rows)
+        assert os.path.getsize(compressed) < os.path.getsize(plain) * 0.25
+
+    def test_block_subset_reads(self, tmp_path):
+        rows = [(f"u{i % 3}", i) for i in range(400)]
+        path = _write(tmp_path / "d.dx", rows, block_size=128)
+        with DictionaryFileReader(path) as r:
+            blocks = r.blocks()
+            assert len(blocks) > 2
+            sub = list(r.iter_records(blocks[1:2]))
+            assert 0 < len(sub) < 400
+
+    @given(urls=st.lists(st.sampled_from(["a", "bb", "ccc", "dddd"]),
+                         min_size=1, max_size=100))
+    @settings(max_examples=25, deadline=None)
+    def test_decode_via_dictionary_restores_strings(self, urls,
+                                                    tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("dx") / "p.dx")
+        _write(path, [(u, 0) for u in urls])
+        with DictionaryFileReader(path) as r:
+            table = r.dictionary()
+            restored = [table[v.url] for _, v in r.iter_records()]
+        assert restored == urls
+
+
+class TestValidation:
+    def test_non_string_field_rejected(self, tmp_path):
+        with pytest.raises(SchemaError):
+            DictionaryFileWriter(str(tmp_path / "x.dx"), LONG_SCHEMA, VISIT,
+                                 "duration")
+
+    def test_unknown_field_rejected(self, tmp_path):
+        with pytest.raises(SchemaError):
+            DictionaryFileWriter(str(tmp_path / "x.dx"), LONG_SCHEMA, VISIT,
+                                 "nope")
+
+    def test_empty_file_has_empty_dictionary(self, tmp_path):
+        path = _write(tmp_path / "e.dx", [])
+        with DictionaryFileReader(path) as r:
+            assert r.dictionary() == []
+            assert list(r.iter_records()) == []

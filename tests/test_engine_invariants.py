@@ -1,0 +1,109 @@
+"""Engine-level invariants: properties any MapReduce runtime must hold.
+
+These pin the guarantees the optimizer's safety argument leans on: for
+deterministic per-record user code, job output is invariant under split
+granularity, reducer count, combiner presence, and input block size.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mapreduce import InMemoryInput, JobConf, LocalJobRunner
+from repro.mapreduce.api import Mapper, Reducer
+from repro.mapreduce.formats import RecordFileInput
+from repro.storage.recordfile import RecordFileWriter
+from repro.storage.serialization import LONG_SCHEMA, STRING_SCHEMA
+from tests.conftest import WEBPAGE, write_webpages
+
+
+class TokenCountMapper(Mapper):
+    def map(self, key, value, ctx):
+        for token in value.split():
+            ctx.emit(token, 1)
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, sum(values))
+
+
+TEXTS = st.lists(
+    st.text(alphabet="ab c", min_size=0, max_size=12),
+    min_size=1, max_size=30,
+)
+
+
+class TestSplitInvariance:
+    @given(texts=TEXTS, splits=st.integers(min_value=1, max_value=9))
+    @settings(max_examples=30, deadline=None)
+    def test_output_invariant_under_split_count(self, texts, splits):
+        pairs = list(enumerate(texts))
+        conf = JobConf(name="si", mapper=TokenCountMapper, reducer=SumReducer,
+                       inputs=[InMemoryInput(pairs)])
+        reference = sorted(LocalJobRunner(splits_per_input=1).run(conf).outputs)
+        got = sorted(LocalJobRunner(splits_per_input=splits).run(conf).outputs)
+        assert got == reference
+
+    @given(texts=TEXTS,
+           reducers=st.integers(min_value=1, max_value=7),
+           use_combiner=st.booleans())
+    @settings(max_examples=30, deadline=None)
+    def test_output_invariant_under_reducers_and_combiner(self, texts,
+                                                          reducers,
+                                                          use_combiner):
+        pairs = list(enumerate(texts))
+        conf = JobConf(
+            name="ri", mapper=TokenCountMapper, reducer=SumReducer,
+            combiner=SumReducer if use_combiner else None,
+            num_reducers=reducers,
+            inputs=[InMemoryInput(pairs)],
+        )
+        reference_conf = JobConf(name="ref", mapper=TokenCountMapper,
+                                 reducer=SumReducer, num_reducers=1,
+                                 inputs=[InMemoryInput(pairs)])
+        runner = LocalJobRunner()
+        assert sorted(runner.run(conf).outputs) == sorted(
+            runner.run(reference_conf).outputs
+        )
+
+    def test_output_invariant_under_block_size(self, tmp_path):
+        class RankMapper(Mapper):
+            def map(self, key, value, ctx):
+                ctx.emit(value.rank, 1)
+
+        outputs = []
+        for block_size in (128, 1024, 1 << 20):
+            path = write_webpages(tmp_path / f"w{block_size}.rf", 150,
+                                  block_size=block_size)
+            conf = JobConf(name="bs", mapper=RankMapper, reducer=SumReducer,
+                           inputs=[RecordFileInput(path)])
+            outputs.append(sorted(LocalJobRunner().run(conf).outputs))
+        assert outputs[0] == outputs[1] == outputs[2]
+
+
+class TestMetricsInvariants:
+    def test_bytes_accounting_consistent_across_splits(self, tmp_path):
+        """Total stored bytes read is split-invariant (no double reads)."""
+        path = write_webpages(tmp_path / "w.rf", 300, block_size=256)
+
+        class RankMapper(Mapper):
+            def map(self, key, value, ctx):
+                ctx.emit(value.rank, 1)
+
+        totals = set()
+        for splits in (1, 3, 8):
+            conf = JobConf(name="m", mapper=RankMapper, reducer=SumReducer,
+                           inputs=[RecordFileInput(path)])
+            runner = LocalJobRunner(splits_per_input=splits)
+            totals.add(runner.run(conf).metrics.map_input_stored_bytes)
+        assert len(totals) == 1
+
+    def test_combiner_never_increases_shuffle(self):
+        pairs = [(i, "a a a b") for i in range(30)]
+        base = JobConf(name="nc", mapper=TokenCountMapper, reducer=SumReducer,
+                       inputs=[InMemoryInput(pairs)])
+        comb = JobConf(name="c", mapper=TokenCountMapper, reducer=SumReducer,
+                       combiner=SumReducer, inputs=[InMemoryInput(pairs)])
+        runner = LocalJobRunner()
+        assert runner.run(comb).metrics.shuffle_bytes <= \
+            runner.run(base).metrics.shuffle_bytes

@@ -1,0 +1,36 @@
+"""Smoke tests: every example script must run end to end.
+
+Examples are user-facing documentation; a broken example is a broken
+README.  Each main() generates its own temp data and asserts output
+equivalence internally, so success here is meaningful.
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def _load(name):
+    path = os.path.join(EXAMPLES_DIR, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", [
+    "quickstart",
+    "log_analysis",
+    "columnar_analytics",
+    "join_pipeline",
+])
+def test_example_runs(name, capsys):
+    module = _load(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert "identical" in out or "rows" in out or "revenue" in out

@@ -1,0 +1,84 @@
+"""Tests for the explain_job reporting module."""
+
+from repro.explain import explain_job
+from repro.core.manimal import Manimal
+from repro.mapreduce import JobConf, RecordFileInput
+from repro.mapreduce.api import Mapper, Reducer
+from tests.conftest import write_webpages
+
+
+class FilterMapper(Mapper):
+    def __init__(self, threshold=10):
+        self.threshold = threshold
+
+    def map(self, key, value, ctx):
+        if value.rank > self.threshold:
+            ctx.emit(value.rank, 1)
+
+
+class OpaqueishMapper(Mapper):
+    count = 0
+
+    def map(self, key, value, ctx):
+        self.count += 1
+        if value.rank > self.count:
+            ctx.emit(key, value)
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, sum(values))
+
+
+def _job(path, mapper):
+    return JobConf(name="explained", mapper=mapper, reducer=SumReducer,
+                   inputs=[RecordFileInput(path)])
+
+
+class TestExplain:
+    def test_detected_optimizations_listed(self, tmp_path, webpage_file):
+        text = explain_job(_job(webpage_file, FilterMapper()))
+        assert "[x] selection" in text
+        assert "[x] projection" in text
+        assert "[x] delta-compression" in text
+        assert "index-generation programs" in text
+        assert "selection+projection" in text
+
+    def test_refusal_reasons_listed(self, webpage_file):
+        text = explain_job(_job(webpage_file, OpaqueishMapper()))
+        assert "[ ] selection" in text
+        assert "mutated across invocations" in text
+        assert "side effects" in text
+
+    def test_plan_included_with_catalog(self, tmp_path, webpage_file):
+        job = _job(webpage_file, FilterMapper())
+        system = Manimal(str(tmp_path / "cat"))
+        system.build_indexes(job)
+        text = explain_job(job, catalog_dir=str(tmp_path / "cat"))
+        assert "execution descriptor" in text
+        assert "btree-scan" in text
+
+    def test_plan_unoptimized_without_indexes(self, tmp_path, webpage_file):
+        text = explain_job(_job(webpage_file, FilterMapper()),
+                           catalog_dir=str(tmp_path / "empty-cat"))
+        assert "unoptimized" in text
+
+    def test_schema_visibility_reported(self, tmp_path):
+        from repro.workloads.pavlo import benchmark1 as b1
+
+        path = str(tmp_path / "b1.rf")
+        b1.generate_input(path, 50)
+        text = explain_job(b1.make_job(path, threshold=100))
+        assert "OPAQUE" in text
+
+    def test_reduce_filter_reported(self, webpage_file):
+        class KeyWhereReducer(Reducer):
+            def reduce(self, key, values, ctx):
+                if key > 30:
+                    ctx.emit(key, sum(values))
+
+        job = JobConf(name="x", mapper=FilterMapper(0),
+                      reducer=KeyWhereReducer,
+                      inputs=[RecordFileInput(webpage_file)])
+        text = explain_job(job)
+        assert "GroupKeyFilter" in text

@@ -1,0 +1,45 @@
+"""Appendix B negative control: Manimal must find NOTHING in Gridmix.
+
+A recall matrix is only credible alongside a workload whose correct
+answer is zero optimizations; the paper's Appendix B names Gridmix as
+exactly that workload.
+"""
+
+from repro.core.manimal import Manimal
+from repro.mapreduce import run_job
+from repro.workloads import gridmix
+
+
+class TestGridmix:
+    def test_nothing_detected(self, tmp_path):
+        path = str(tmp_path / "gm.rf")
+        gridmix.generate_gridmix(path, 200)
+        system = Manimal(str(tmp_path / "cat"))
+        job = gridmix.make_job(path)
+        analysis = system.analyze(job)
+        ia = analysis.inputs[0]
+        assert ia.selection is None
+        assert ia.projection is None      # the single field IS the record
+        assert ia.delta is None           # bytes are not numeric
+        assert ia.direct == []            # bytes are not strings
+        assert analysis.reduce_key_filter is None
+
+    def test_no_index_program_synthesized(self, tmp_path):
+        path = str(tmp_path / "gm.rf")
+        gridmix.generate_gridmix(path, 100)
+        system = Manimal(str(tmp_path / "cat"))
+        programs = system.index_programs(gridmix.make_job(path))
+        assert programs == [None]
+
+    def test_submission_runs_plain_and_correct(self, tmp_path):
+        path = str(tmp_path / "gm.rf")
+        gridmix.generate_gridmix(path, 150)
+        system = Manimal(str(tmp_path / "cat"))
+        job = gridmix.make_job(path)
+        baseline = run_job(job)
+        outcome = system.submit(job, build_indexes=True)
+        assert not outcome.optimized
+        assert outcome.built_indexes == []
+        assert sorted(outcome.result.outputs, key=repr) == sorted(
+            baseline.outputs, key=repr
+        )

@@ -1,0 +1,124 @@
+"""Tests for chained-job pipelines (Appendix E link detection)."""
+
+import pytest
+
+from repro.core.manimal import Manimal
+from repro.core.pipeline import ManimalPipeline
+from repro.exceptions import JobConfigError
+from repro.mapreduce import JobConf, RecordFileInput, run_job
+from repro.mapreduce.api import Mapper, Reducer
+from repro.storage.serialization import (
+    INT_SCHEMA,
+    STRING_SCHEMA,
+)
+from tests.conftest import write_webpages
+
+
+class RankFilterMapper(Mapper):
+    def __init__(self, threshold=30):
+        self.threshold = threshold
+
+    def map(self, key, value, ctx):
+        if value.rank > self.threshold:
+            ctx.emit(value.url, value.rank)
+
+
+class CountReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, len(list(values)))
+
+
+class SecondStageMapper(Mapper):
+    """Consumes stage-1 output records (url, count-of-rank)."""
+
+    def map(self, key, value, ctx):
+        if value.value > 0:
+            ctx.emit(key.value, value.value)
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, sum(values))
+
+
+def _stage1(path, out):
+    return JobConf(
+        name="stage1", mapper=RankFilterMapper(), reducer=CountReducer,
+        inputs=[RecordFileInput(path)],
+        output_path=out,
+        output_key_schema=STRING_SCHEMA,
+        output_value_schema=INT_SCHEMA,
+    )
+
+
+def _stage2(intermediate):
+    return JobConf(
+        name="stage2", mapper=SecondStageMapper, reducer=SumReducer,
+        inputs=[RecordFileInput(intermediate)],
+    )
+
+
+class TestLinkDetection:
+    def test_chain_detected(self, tmp_path):
+        path = write_webpages(tmp_path / "w.rf", 100)
+        mid = str(tmp_path / "mid.rf")
+        system = Manimal(str(tmp_path / "cat"))
+        pipe = ManimalPipeline(system, [_stage1(path, mid), _stage2(mid)])
+        assert pipe.links() == {0: [], 1: [0]}
+        assert pipe.intermediate_paths() == {mid}
+        assert "stage 1: stage2 <- stages [0]" in pipe.describe()
+
+    def test_unlinked_stages(self, tmp_path):
+        a = write_webpages(tmp_path / "a.rf", 20)
+        b = write_webpages(tmp_path / "b.rf", 20)
+        system = Manimal(str(tmp_path / "cat"))
+        pipe = ManimalPipeline(
+            system,
+            [_stage1(a, str(tmp_path / "o1.rf")), _stage2(b)],
+        )
+        assert pipe.links() == {0: [], 1: []}
+        assert pipe.intermediate_paths() == set()
+
+    def test_empty_pipeline_rejected(self, tmp_path):
+        system = Manimal(str(tmp_path / "cat"))
+        with pytest.raises(JobConfigError):
+            ManimalPipeline(system, [])
+
+
+class TestExecution:
+    def test_two_stage_results_match_manual_chain(self, tmp_path):
+        path = write_webpages(tmp_path / "w.rf", 200)
+        mid = str(tmp_path / "mid.rf")
+        stage1, stage2 = _stage1(path, mid), _stage2(mid)
+
+        # Manual chain (plain runs).
+        run_job(stage1)
+        expected = sorted(run_job(stage2).outputs)
+
+        system = Manimal(str(tmp_path / "cat"))
+        pipe = ManimalPipeline(system, [_stage1(path, mid), _stage2(mid)])
+        outcomes = pipe.submit(build_indexes=True)
+        assert len(outcomes) == 2
+        assert sorted(outcomes[1].outcome.result.outputs) == expected
+        # Stage 1's external input got optimized; the intermediate did not
+        # get an index (read-once data).
+        assert outcomes[0].outcome.optimized
+        kinds = {e.kind for e in system.catalog.sorted_entries()}
+        sources = {e.source_path for e in system.catalog.sorted_entries()}
+        import os
+
+        assert os.path.abspath(mid) not in sources
+
+    def test_index_intermediates_flag(self, tmp_path):
+        path = write_webpages(tmp_path / "w.rf", 200)
+        mid = str(tmp_path / "mid.rf")
+        system = Manimal(str(tmp_path / "cat"))
+        pipe = ManimalPipeline(
+            system, [_stage1(path, mid), _stage2(mid)],
+            index_intermediates=True,
+        )
+        pipe.submit(build_indexes=True)
+        import os
+
+        sources = {e.source_path for e in system.catalog.sorted_entries()}
+        assert os.path.abspath(mid) in sources

@@ -1,0 +1,147 @@
+"""Tests pinning the planner's hard-coded ranking and applicability rules."""
+
+import pytest
+
+from repro.core.manimal import Manimal
+from repro.core.optimizer import catalog as cat
+from repro.core.optimizer.planner import RANKING, Optimizer
+from repro.mapreduce import JobConf, RecordFileInput
+from repro.mapreduce.api import Mapper, Reducer
+from repro.workloads.single_opt import make_duration_sum_job
+from repro.workloads.datagen import generate_uservisits
+from tests.conftest import write_webpages
+
+
+class FilterMapper(Mapper):
+    def __init__(self, threshold=30):
+        self.threshold = threshold
+
+    def map(self, key, value, ctx):
+        if value.rank > self.threshold:
+            ctx.emit(value.rank, 1)
+
+
+class CountReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, sum(values))
+
+
+def _job(path):
+    return JobConf(name="rk", mapper=FilterMapper(), reducer=CountReducer,
+                   inputs=[RecordFileInput(path)])
+
+
+class TestRankingOrder:
+    def test_paper_ranking_constant(self):
+        """Pin the Section 2.2 order; changing it is a semantic decision."""
+        assert RANKING == (
+            cat.KIND_SELECTION_PROJECTION,
+            cat.KIND_SELECTION,
+            cat.KIND_PROJECTION_DELTA,
+            cat.KIND_PROJECTION,
+            cat.KIND_DICTIONARY,
+            cat.KIND_DELTA,
+        )
+
+    def test_selection_outranks_projection_family(self, tmp_path):
+        path = write_webpages(tmp_path / "w.rf", 200)
+        job = _job(path)
+        system = Manimal(str(tmp_path / "cat"))
+        system.build_indexes(job, allowed_kinds=[cat.KIND_PROJECTION])
+        system.build_indexes(job, allowed_kinds=[cat.KIND_SELECTION])
+        plan = system.plan(job)
+        assert plan.plans[0].entry.kind == cat.KIND_SELECTION
+
+    def test_projection_delta_outranks_plain_projection(self, tmp_path):
+        path = write_webpages(tmp_path / "w.rf", 200)
+
+        class NoFilterMapper(Mapper):
+            def map(self, key, value, ctx):
+                ctx.emit(value.rank, 1)
+
+        job = JobConf(name="rk2", mapper=NoFilterMapper, reducer=CountReducer,
+                      inputs=[RecordFileInput(path)])
+        system = Manimal(str(tmp_path / "cat"))
+        system.build_indexes(job, allowed_kinds=[cat.KIND_PROJECTION])
+        system.build_indexes(job, allowed_kinds=[cat.KIND_PROJECTION_DELTA])
+        plan = system.plan(job)
+        assert plan.plans[0].entry.kind == cat.KIND_PROJECTION_DELTA
+
+    def test_dictionary_outranks_delta(self, tmp_path):
+        path = str(tmp_path / "uv.rf")
+        generate_uservisits(path, 300)
+        job = make_duration_sum_job(path)
+        system = Manimal(str(tmp_path / "cat"))
+        system.build_indexes(job, allowed_kinds=[cat.KIND_DELTA])
+        system.build_indexes(job, allowed_kinds=[cat.KIND_DICTIONARY])
+        plan = system.plan(job)
+        assert plan.plans[0].entry.kind == cat.KIND_DICTIONARY
+
+
+class TestApplicability:
+    def test_dictionary_requires_direct_descriptor(self, tmp_path):
+        """A dictionary index must never serve a job that reads the field
+        in non-equality ways -- codes would corrupt its semantics."""
+        path = str(tmp_path / "uv.rf")
+        generate_uservisits(path, 300)
+        dict_job = make_duration_sum_job(path)
+        system = Manimal(str(tmp_path / "cat"))
+        system.build_indexes(dict_job, allowed_kinds=[cat.KIND_DICTIONARY])
+
+        class UrlLengthMapper(Mapper):
+            def map(self, key, value, ctx):
+                ctx.emit(len(value.destURL), value.duration)
+
+        other_job = JobConf(name="len", mapper=UrlLengthMapper,
+                            reducer=CountReducer,
+                            inputs=[RecordFileInput(path)])
+        plan = system.plan(other_job)
+        assert not plan.plans[0].optimized
+
+    def test_delta_serves_any_program_on_same_source(self, tmp_path):
+        """Plain delta reconstructs identical records: applicable even to
+        jobs with no detected optimizations at all."""
+        path = str(tmp_path / "uv.rf")
+        generate_uservisits(path, 200)
+        base_job = make_duration_sum_job(path)
+        system = Manimal(str(tmp_path / "cat"))
+        system.build_indexes(base_job, allowed_kinds=[cat.KIND_DELTA])
+
+        class EverythingMapper(Mapper):
+            def map(self, key, value, ctx):
+                ctx.emit(value.sourceIP, value)
+
+        job = JobConf(name="all", mapper=EverythingMapper, reducer=None,
+                      inputs=[RecordFileInput(path)])
+        plan = system.plan(job)
+        assert plan.plans[0].optimized
+        assert plan.plans[0].entry.kind == cat.KIND_DELTA
+
+    def test_selection_index_requires_matching_field(self, tmp_path):
+        path = write_webpages(tmp_path / "w.rf", 200)
+        job = _job(path)
+        system = Manimal(str(tmp_path / "cat"))
+        system.build_indexes(job, allowed_kinds=[cat.KIND_SELECTION])
+
+        class UrlFilterMapper(Mapper):
+            def map(self, key, value, ctx):
+                if value.url >= "http://x/5":
+                    ctx.emit(value.url, 1)
+
+        url_job = JobConf(name="u", mapper=UrlFilterMapper,
+                          reducer=CountReducer,
+                          inputs=[RecordFileInput(path)])
+        plan = system.plan(url_job)
+        # The rank index cannot serve a url predicate.
+        assert plan.plans[0].entry is None or \
+            plan.plans[0].entry.kind != cat.KIND_SELECTION
+
+    def test_describe_mentions_choice(self, tmp_path):
+        path = write_webpages(tmp_path / "w.rf", 100)
+        job = _job(path)
+        system = Manimal(str(tmp_path / "cat"))
+        system.build_indexes(job)
+        plan = system.plan(job)
+        text = plan.describe()
+        assert "selection+projection" in text
+        assert "B+Tree on 'rank'" in text

@@ -1,0 +1,154 @@
+"""Tests for findProject (paper Fig. 6)."""
+
+from repro.core.analyzer import ManimalAnalyzer
+from repro.mapreduce.api import Mapper
+from repro.storage.serialization import (
+    Field,
+    FieldType,
+    OpaqueSchema,
+    Record,
+    STRING_SCHEMA,
+)
+from repro.workloads.schemas import USERVISITS
+from tests.conftest import WEBPAGE
+
+ANALYZER = ManimalAnalyzer()
+
+
+def analyze(mapper, value_schema=WEBPAGE, key_schema=STRING_SCHEMA):
+    return ANALYZER.analyze_mapper(mapper, key_schema, value_schema,
+                                   reduce_leaks_key=True)
+
+
+class TwoOfNine(Mapper):
+    def map(self, key, value, ctx):
+        ctx.emit(value.sourceIP, value.adRevenue)
+
+
+class RankOnly(Mapper):
+    def map(self, key, value, ctx):
+        if value.rank > 1:
+            ctx.emit(key, 1)
+
+
+class AllFields(Mapper):
+    def map(self, key, value, ctx):
+        ctx.emit(value.url, (value.rank, value.content))
+
+
+class WholeRecordEmit(Mapper):
+    def map(self, key, value, ctx):
+        ctx.emit(value.url, value)
+
+
+class FieldThroughAlias(Mapper):
+    def map(self, key, value, ctx):
+        v = value
+        ctx.emit(v.url, v.rank)
+
+
+class FieldInsideLoop(Mapper):
+    def map(self, key, value, ctx):
+        for word in value.content.split():
+            ctx.emit(word, value.rank)
+
+
+class DebugReadMapper(Mapper):
+    """Reads `content` only for a print; we keep it anyway (safe direction,
+    documented deviation from Fig. 6 -- a dropped Python field read raises)."""
+
+    def map(self, key, value, ctx):
+        print(value.content)
+        ctx.emit(value.url, value.rank)
+
+
+class RecordIntoUnknownCall(Mapper):
+    def map(self, key, value, ctx):
+        ctx.emit(key, helper(value))
+
+
+class MemberStoreThenEmit(Mapper):
+    def map(self, key, value, ctx):
+        self.stash = value.rank
+        ctx.emit(key, self.stash)
+
+
+class TestDetected:
+    def test_two_of_nine_fields(self):
+        r = analyze(TwoOfNine(), value_schema=USERVISITS)
+        p = r.projection
+        assert p is not None
+        assert p.used_value_fields == ["sourceIP", "adRevenue"]
+        assert len(p.unused_value_fields) == 7
+
+    def test_single_field(self):
+        r = analyze(RankOnly())
+        assert r.projection.used_value_fields == ["rank"]
+        assert r.projection.unused_value_fields == ["url", "content"]
+
+    def test_alias_does_not_hide_fields(self):
+        r = analyze(FieldThroughAlias())
+        assert set(r.projection.used_value_fields) == {"url", "rank"}
+
+    def test_loop_fields_counted(self):
+        r = analyze(FieldInsideLoop())
+        assert r.projection is not None
+        assert set(r.projection.used_value_fields) == {"content", "rank"}
+        assert r.projection.unused_value_fields == ["url"]
+
+    def test_debug_read_keeps_field(self):
+        r = analyze(DebugReadMapper())
+        # content is kept because it is read (even if only for a print).
+        assert r.projection is None or \
+            "content" in r.projection.used_value_fields
+
+    def test_member_store_fields_kept(self):
+        r = analyze(MemberStoreThenEmit())
+        # rank flows through a member; it must be kept, others droppable.
+        assert r.projection is not None
+        assert "rank" in r.projection.used_value_fields
+
+
+class TestNotPresent:
+    def test_all_fields_used(self):
+        r = analyze(AllFields())
+        assert r.projection is None
+        assert any("every serialized value field" in n
+                   for n in r.notes["PROJECT"])
+
+    def test_whole_record_emitted(self):
+        r = analyze(WholeRecordEmit())
+        assert r.projection is None
+
+    def test_record_into_unknown_call(self):
+        r = analyze(RecordIntoUnknownCall())
+        assert r.projection is None
+        assert any("escapes" in n for n in r.notes["PROJECT"])
+
+
+class TestOpaque:
+    def test_opaque_schema_blocks_projection(self):
+        opaque = OpaqueSchema(
+            "OpaqueWP",
+            WEBPAGE.fields,
+            encoder=lambda r: b"",
+            decoder=lambda s, raw: Record(s, ["", 0, ""]),
+        )
+        r = analyze(RankOnly(), value_schema=opaque)
+        assert r.projection is None
+        assert any("opaque" in n for n in r.notes["PROJECT"])
+
+    def test_missing_schema_blocks_projection(self):
+        r = analyze(RankOnly(), value_schema=None)
+        assert r.projection is None
+
+
+class TestSchemaMismatch:
+    def test_reading_undeclared_field_blocks_projection(self):
+        class ReadsBogusField(Mapper):
+            def map(self, key, value, ctx):
+                ctx.emit(key, value.bogus)
+
+        r = analyze(ReadsBogusField())
+        assert r.projection is None
+        assert any("does not define" in n for n in r.notes["PROJECT"])

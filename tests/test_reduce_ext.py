@@ -1,0 +1,136 @@
+"""Tests for the Appendix E reduce-side GROUPBY/WHERE extension."""
+
+import pytest
+
+from repro.core.analyzer.reduce_ext import find_reduce_key_filter
+from repro.core.manimal import Manimal
+from repro.mapreduce import InMemoryInput, JobConf, RecordFileInput, run_job
+from repro.mapreduce.api import Mapper, Reducer
+from tests.conftest import write_webpages
+
+
+class RankEmitMapper(Mapper):
+    def map(self, key, value, ctx):
+        ctx.emit(value.rank, 1)
+
+
+class KeyFilteredReducer(Reducer):
+    """GROUPBY rank ... WHERE rank > 30 -- the Appendix E shape."""
+
+    def reduce(self, key, values, ctx):
+        if key > 30:
+            ctx.emit(key, sum(values))
+
+
+class ValueFilteredReducer(Reducer):
+    """WHERE on the aggregate: cannot be decided before the shuffle."""
+
+    def reduce(self, key, values, ctx):
+        total = sum(values)
+        if total > 10:
+            ctx.emit(key, total)
+
+
+class UnfilteredReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, sum(values))
+
+
+class RangeKeyReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        if key >= 10 and key <= 20:
+            ctx.emit(key, len(list(values)))
+
+
+class LoopingEmitReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        for v in values:
+            ctx.emit(key, v)
+
+
+class TestDetection:
+    def test_key_filter_found(self):
+        filt, notes = find_reduce_key_filter(KeyFilteredReducer())
+        assert filt is not None
+        assert filt(31) and not filt(30)
+
+    def test_range_filter_found(self):
+        filt, _ = find_reduce_key_filter(RangeKeyReducer())
+        assert filt is not None
+        assert filt(15) and not filt(9) and not filt(21)
+
+    def test_value_dependent_refused(self):
+        filt, notes = find_reduce_key_filter(ValueFilteredReducer())
+        assert filt is None
+        assert any("values" in n for n in notes)
+
+    def test_unconditional_refused(self):
+        filt, notes = find_reduce_key_filter(UnfilteredReducer())
+        assert filt is None
+        assert any("any key" in n for n in notes)
+
+    def test_loop_emit_refused(self):
+        filt, notes = find_reduce_key_filter(LoopingEmitReducer())
+        assert filt is None
+        assert any("loop" in n for n in notes)
+
+
+class TestEndToEnd:
+    def _job(self, path):
+        return JobConf(name="appE", mapper=RankEmitMapper,
+                       reducer=KeyFilteredReducer,
+                       inputs=[RecordFileInput(path)])
+
+    def test_shuffle_volume_drops_output_identical(self, tmp_path):
+        path = write_webpages(tmp_path / "w.rf", 400)
+        job = self._job(path)
+        baseline = run_job(job)
+        system = Manimal(str(tmp_path / "cat"))
+        analysis = system.analyze(job)
+        assert analysis.reduce_key_filter is not None
+        descriptor = system.plan(job, analysis)
+        assert descriptor.shuffle_filter is not None
+        optimized = system.execute(job, descriptor)
+        assert sorted(optimized.outputs) == sorted(baseline.outputs)
+        assert optimized.metrics.shuffle_records < \
+            baseline.metrics.shuffle_records
+        assert optimized.metrics.shuffle_records_skipped > 0
+
+    def test_descriptor_mentions_filter(self, tmp_path):
+        path = write_webpages(tmp_path / "w.rf", 50)
+        system = Manimal(str(tmp_path / "cat"))
+        descriptor = system.plan(self._job(path))
+        assert "pre-shuffle group filter" in descriptor.describe()
+
+    def test_value_dependent_reducer_not_filtered(self, tmp_path):
+        path = write_webpages(tmp_path / "w.rf", 100)
+        job = JobConf(name="appE2", mapper=RankEmitMapper,
+                      reducer=ValueFilteredReducer,
+                      inputs=[RecordFileInput(path)])
+        system = Manimal(str(tmp_path / "cat"))
+        descriptor = system.plan(job)
+        assert descriptor.shuffle_filter is None
+        baseline = run_job(job)
+        optimized = system.execute(job, descriptor)
+        assert sorted(optimized.outputs) == sorted(baseline.outputs)
+
+    def test_combined_with_selection_index(self, tmp_path):
+        """Map-side selection and reduce-side filtering compose."""
+        path = write_webpages(tmp_path / "w.rf", 400)
+
+        class FilteringMapper(Mapper):
+            def map(self, key, value, ctx):
+                if value.rank < 45:
+                    ctx.emit(value.rank, 1)
+
+        job = JobConf(name="appE3", mapper=FilteringMapper,
+                      reducer=KeyFilteredReducer,
+                      inputs=[RecordFileInput(path)])
+        baseline = run_job(job)
+        system = Manimal(str(tmp_path / "cat"))
+        outcome = system.submit(job, build_indexes=True)
+        assert outcome.optimized
+        assert sorted(outcome.result.outputs) == sorted(baseline.outputs)
+        # Both layers active: fewer records mapped AND groups dropped.
+        assert outcome.result.metrics.map_input_records < 400
+        assert outcome.result.metrics.shuffle_records_skipped > 0

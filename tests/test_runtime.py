@@ -1,0 +1,251 @@
+"""Tests for the MapReduce execution fabric (runner, shuffle, combiner)."""
+
+import pytest
+
+from repro.exceptions import JobConfigError, JobExecutionError
+from repro.mapreduce import (
+    Context,
+    InMemoryInput,
+    JobConf,
+    LocalJobRunner,
+    Mapper,
+    Partitioner,
+    RecordFileInput,
+    Reducer,
+    run_job,
+)
+from repro.storage.recordfile import RecordFileReader
+from repro.storage.serialization import (
+    Field,
+    FieldType,
+    INT_SCHEMA,
+    LONG_SCHEMA,
+    Schema,
+    STRING_SCHEMA,
+)
+
+from tests.conftest import WEBPAGE
+
+
+class WordCountMapper(Mapper):
+    def map(self, key, value, ctx):
+        for word in value.split():
+            ctx.emit(word, 1)
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, sum(values))
+
+
+class TestWordCount:
+    def test_basic(self):
+        pairs = [(i, text) for i, text in enumerate(
+            ["a b a", "b c", "a", "c c c"]
+        )]
+        conf = JobConf(
+            name="wc",
+            mapper=WordCountMapper,
+            reducer=SumReducer,
+            inputs=[InMemoryInput(pairs)],
+        )
+        result = run_job(conf)
+        assert result.output_dict() == {"a": 3, "b": 2, "c": 4}
+
+    def test_combiner_reduces_shuffle_volume(self):
+        pairs = [(i, "x " * 50) for i in range(20)]
+        base = JobConf(name="nc", mapper=WordCountMapper, reducer=SumReducer,
+                       inputs=[InMemoryInput(pairs)])
+        with_combiner = JobConf(name="c", mapper=WordCountMapper,
+                                reducer=SumReducer, combiner=SumReducer,
+                                inputs=[InMemoryInput(pairs)])
+        r1 = run_job(base)
+        r2 = run_job(with_combiner)
+        assert r1.output_dict() == r2.output_dict() == {"x": 1000}
+        assert r2.metrics.shuffle_records < r1.metrics.shuffle_records
+        # Pre-combine map output volume is identical.
+        assert r2.metrics.map_output_records == r1.metrics.map_output_records
+
+    def test_num_reducers_does_not_change_output(self):
+        pairs = [(i, f"w{i % 17} w{i % 5}") for i in range(100)]
+        outputs = []
+        for n in (1, 3, 8):
+            conf = JobConf(name=f"wc{n}", mapper=WordCountMapper,
+                           reducer=SumReducer, num_reducers=n,
+                           inputs=[InMemoryInput(pairs)])
+            outputs.append(sorted(run_job(conf).outputs))
+        assert outputs[0] == outputs[1] == outputs[2]
+
+
+class TagEchoMapper(Mapper):
+    def map(self, key, value, ctx):
+        ctx.emit(ctx.input_tag, 1)
+
+
+class RankMapper(Mapper):
+    def map(self, key, value, ctx):
+        ctx.emit(value.rank, 1)
+
+
+class TestInputs:
+    def test_multiple_inputs_tagged(self):
+        conf = JobConf(
+            name="tags",
+            mapper=TagEchoMapper,
+            reducer=SumReducer,
+            inputs=[
+                InMemoryInput([(1, "a")] * 3, tag="left"),
+                InMemoryInput([(1, "b")] * 5, tag="right"),
+            ],
+        )
+        assert run_job(conf).output_dict() == {"left": 3, "right": 5}
+
+    def test_per_input_mappers(self):
+        class LeftMapper(Mapper):
+            def map(self, key, value, ctx):
+                ctx.emit("L", value)
+
+        class RightMapper(Mapper):
+            def map(self, key, value, ctx):
+                ctx.emit("R", value)
+
+        conf = JobConf(
+            name="multi",
+            mapper=LeftMapper,
+            reducer=SumReducer,
+            inputs=[
+                InMemoryInput([(0, 1), (0, 2)], tag="l"),
+                InMemoryInput([(0, 10)], tag="r"),
+            ],
+            per_input_mappers={"l": LeftMapper, "r": RightMapper},
+        )
+        assert run_job(conf).output_dict() == {"L": 3, "R": 10}
+
+    def test_record_file_input(self, webpage_file):
+        conf = JobConf(
+            name="rf",
+            mapper=RankMapper,
+            reducer=SumReducer,
+            inputs=[RecordFileInput(webpage_file)],
+        )
+        result = run_job(conf)
+        assert sum(result.output_dict().values()) == 500
+        assert result.metrics.map_input_records == 500
+        assert result.metrics.map_input_stored_bytes > 0
+        assert result.metrics.map_tasks > 1
+
+    def test_no_inputs_rejected(self):
+        with pytest.raises(JobConfigError):
+            JobConf(name="x", mapper=WordCountMapper, reducer=None, inputs=[])
+
+
+class TestMapOnly:
+    def test_map_only_job(self):
+        class Doubler(Mapper):
+            def map(self, key, value, ctx):
+                ctx.emit(key, value * 2)
+
+        conf = JobConf(name="dbl", mapper=Doubler, reducer=None,
+                       inputs=[InMemoryInput([(1, 10), (2, 20)])])
+        result = run_job(conf)
+        assert sorted(result.outputs) == [(1, 20), (2, 40)]
+        assert result.metrics.reduce_groups == 0
+
+
+class TestLifecycleAndCounters:
+    def test_setup_cleanup_bracket_each_task(self):
+        class LifeMapper(Mapper):
+            def setup(self, ctx):
+                ctx.increment("life", "setup")
+
+            def map(self, key, value, ctx):
+                ctx.emit(key, value)
+
+            def cleanup(self, ctx):
+                ctx.increment("life", "cleanup")
+
+        conf = JobConf(name="life", mapper=LifeMapper, reducer=None,
+                       inputs=[InMemoryInput([(i, i) for i in range(10)])])
+        runner = LocalJobRunner(splits_per_input=5)
+        result = runner.run(conf)
+        tasks = result.metrics.map_tasks
+        assert tasks == 5
+        assert result.counters.get("life", "setup") == tasks
+        assert result.counters.get("life", "cleanup") == tasks
+
+    def test_user_counters_roll_up(self):
+        class CountingMapper(Mapper):
+            def map(self, key, value, ctx):
+                ctx.increment("app", "seen")
+                ctx.emit(key, value)
+
+        conf = JobConf(name="cnt", mapper=CountingMapper, reducer=SumReducer,
+                       inputs=[InMemoryInput([(1, 1)] * 25)])
+        result = run_job(conf)
+        assert result.counters.get("app", "seen") == 25
+
+
+class TestFailures:
+    def test_map_error_wrapped(self):
+        class Exploding(Mapper):
+            def map(self, key, value, ctx):
+                raise ValueError("boom")
+
+        conf = JobConf(name="x", mapper=Exploding, reducer=None,
+                       inputs=[InMemoryInput([(1, 1)])])
+        with pytest.raises(JobExecutionError, match="boom"):
+            run_job(conf)
+
+    def test_reduce_error_wrapped(self):
+        class ExplodingReducer(Reducer):
+            def reduce(self, key, values, ctx):
+                raise RuntimeError("reduce boom")
+
+        conf = JobConf(name="x", mapper=WordCountMapper,
+                       reducer=ExplodingReducer,
+                       inputs=[InMemoryInput([(1, "a")])])
+        with pytest.raises(JobExecutionError, match="reduce boom"):
+            run_job(conf)
+
+    def test_output_path_without_schema_rejected(self, tmp_path):
+        conf = JobConf(name="x", mapper=WordCountMapper, reducer=SumReducer,
+                       inputs=[InMemoryInput([(1, "a")])],
+                       output_path=str(tmp_path / "out.rf"))
+        with pytest.raises(JobExecutionError):
+            run_job(conf)
+
+
+class TestOutputFile:
+    def test_primitive_outputs_coerced(self, tmp_path):
+        out = str(tmp_path / "out.rf")
+        conf = JobConf(
+            name="o",
+            mapper=WordCountMapper,
+            reducer=SumReducer,
+            inputs=[InMemoryInput([(1, "a b a")])],
+            output_path=out,
+            output_key_schema=STRING_SCHEMA,
+            output_value_schema=INT_SCHEMA,
+        )
+        run_job(conf)
+        with RecordFileReader(out) as r:
+            rows = {k.value: v.value for k, v in r.iter_records()}
+        assert rows == {"a": 2, "b": 1}
+
+
+class TestDeterminism:
+    def test_same_job_same_metrics(self, webpage_file):
+        def go():
+            conf = JobConf(name="d", mapper=RankMapper, reducer=SumReducer,
+                           inputs=[RecordFileInput(webpage_file)])
+            r = run_job(conf)
+            m = r.metrics.to_dict()
+            m.pop("wall_seconds")
+            return sorted(r.outputs), m
+
+        assert go() == go()
+
+    def test_partitioner_stability(self):
+        p = Partitioner()
+        for key in ["a", "b", 1, (1, "x")]:
+            assert p.partition(key, 7) == p.partition(key, 7)

@@ -1,0 +1,75 @@
+"""Tests for the footnote-2 'safe mode'."""
+
+from repro.core.analyzer import ManimalAnalyzer
+from repro.core.manimal import Manimal
+from repro.mapreduce import JobConf, RecordFileInput
+from repro.mapreduce.api import Mapper, Reducer
+from repro.storage.serialization import STRING_SCHEMA
+from tests.conftest import WEBPAGE, write_webpages
+
+
+class LoggingFilterMapper(Mapper):
+    """Selection-shaped, but logs every record it sees."""
+
+    def map(self, key, value, ctx):
+        print(value.url)
+        if value.rank > 10:
+            ctx.emit(key, 1)
+
+
+class CleanFilterMapper(Mapper):
+    def map(self, key, value, ctx):
+        if value.rank > 10:
+            ctx.emit(key, 1)
+
+
+class KeyWhereReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        if key is not None:
+            ctx.emit(key, len(list(values)))
+
+
+class TestSafeMode:
+    def test_side_effecting_mapper_denied_selection(self):
+        strict = ManimalAnalyzer(safe_mode=True)
+        r = strict.analyze_mapper(LoggingFilterMapper(), STRING_SCHEMA,
+                                  WEBPAGE, reduce_leaks_key=True)
+        assert r.selection is None
+        assert any("safe mode" in n for n in r.notes["SELECT"])
+        # Projection never changes which records run: still allowed.
+        assert r.projection is not None
+
+    def test_clean_mapper_unaffected(self):
+        strict = ManimalAnalyzer(safe_mode=True)
+        r = strict.analyze_mapper(CleanFilterMapper(), STRING_SCHEMA,
+                                  WEBPAGE, reduce_leaks_key=True)
+        assert r.selection is not None
+
+    def test_default_mode_keeps_selection_despite_effects(self):
+        default = ManimalAnalyzer()
+        r = default.analyze_mapper(LoggingFilterMapper(), STRING_SCHEMA,
+                                   WEBPAGE, reduce_leaks_key=True)
+        # Paper's default stance: skip invocations "even if doing so may
+        # also mean skipping generating messages for the debug log".
+        assert r.selection is not None
+
+    def test_safe_mode_disables_reduce_filter(self, tmp_path):
+        path = write_webpages(tmp_path / "w.rf", 30)
+        job = JobConf(name="sm", mapper=CleanFilterMapper,
+                      reducer=KeyWhereReducer,
+                      inputs=[RecordFileInput(path)])
+        strict = ManimalAnalyzer(safe_mode=True)
+        analysis = strict.analyze_job(job)
+        assert analysis.reduce_key_filter is None
+        assert any("safe mode" in n for n in analysis.reduce_notes)
+
+    def test_end_to_end_safe_system(self, tmp_path):
+        """A safe-mode system still optimizes what is genuinely safe."""
+        path = write_webpages(tmp_path / "w.rf", 200)
+        job = JobConf(name="sm2", mapper=LoggingFilterMapper, reducer=None,
+                      inputs=[RecordFileInput(path)])
+        system = Manimal(str(tmp_path / "cat"), safe_mode=True)
+        outcome = system.submit(job, build_indexes=True)
+        # Projection-family index applies; selection does not.
+        kinds = outcome.descriptor.optimizations()
+        assert all("selection" not in k for k in kinds)

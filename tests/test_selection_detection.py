@@ -1,0 +1,218 @@
+"""Tests for findSelect (paper Fig. 3) across mapper shapes.
+
+Mappers are defined at module level so ``inspect.getsource`` works; the
+ManimalAnalyzer facade is exercised directly with explicit schemas.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analyzer import ManimalAnalyzer
+from repro.mapreduce.api import Mapper
+from repro.storage.serialization import STRING_SCHEMA
+from tests.conftest import WEBPAGE
+
+ANALYZER = ManimalAnalyzer()
+
+
+def analyze(mapper):
+    return ANALYZER.analyze_mapper(mapper, STRING_SCHEMA, WEBPAGE,
+                                   reduce_leaks_key=True)
+
+
+class SimpleSelect(Mapper):
+    def map(self, key, value, ctx):
+        if value.rank > 1:
+            ctx.emit(key, 1)
+
+
+class ThresholdSelect(Mapper):
+    def __init__(self, threshold=10):
+        self.threshold = threshold
+
+    def map(self, key, value, ctx):
+        if value.rank > self.threshold:
+            ctx.emit(value.rank, value.url)
+
+
+class ElifSelect(Mapper):
+    def map(self, key, value, ctx):
+        if value.rank > 100:
+            ctx.emit(key, "high")
+        elif value.rank < 5:
+            ctx.emit(key, "low")
+
+
+class RangeSelect(Mapper):
+    def map(self, key, value, ctx):
+        if value.rank >= 10 and value.rank <= 20:
+            ctx.emit(key, 1)
+
+
+class StringMethodSelect(Mapper):
+    def map(self, key, value, ctx):
+        if value.url.startswith("https"):
+            ctx.emit(value.url, 1)
+
+
+class EarlyReturnSelect(Mapper):
+    def map(self, key, value, ctx):
+        if value.rank <= 0:
+            return
+        ctx.emit(key, value.rank)
+
+
+class NestedIfSelect(Mapper):
+    def map(self, key, value, ctx):
+        if value.rank > 5:
+            if value.rank < 50:
+                ctx.emit(key, 1)
+
+
+class AlwaysEmit(Mapper):
+    def map(self, key, value, ctx):
+        ctx.emit(value.rank, 1)
+
+
+class NeverEmit(Mapper):
+    def map(self, key, value, ctx):
+        pass
+
+
+class MemberCounterSelect(Mapper):
+    """The paper's Fig. 2 counterexample: must NOT be optimized."""
+
+    num_maps_run = 0
+
+    def map(self, key, value, ctx):
+        self.num_maps_run += 1
+        if value.rank > 1 or self.num_maps_run > 200:
+            ctx.emit(key, 1)
+
+
+class LoopSelect(Mapper):
+    def map(self, key, value, ctx):
+        for part in value.content.split():
+            if part == "match":
+                ctx.emit(key, 1)
+
+
+class HelperMethodSelect(Mapper):
+    """Dependence pushed into a helper method: unanalyzable, unsafe."""
+
+    def interesting(self, value):
+        return value.rank > self.secret
+
+    def map(self, key, value, ctx):
+        if self.interesting(value):
+            ctx.emit(key, 1)
+
+
+class EmitValueFromMember(Mapper):
+    """Conditions are clean but the emitted value is member state."""
+
+    total = 0
+
+    def map(self, key, value, ctx):
+        self.total += value.rank
+        if value.rank > 3:
+            ctx.emit(key, self.total)
+
+
+class TestDetected:
+    def test_simple(self):
+        r = analyze(SimpleSelect())
+        assert r.selection is not None
+        f = r.selection.formula
+        assert f.evaluate("k", WEBPAGE.make("u", 2, "c"))
+        assert not f.evaluate("k", WEBPAGE.make("u", 1, "c"))
+
+    def test_threshold_constant_folded(self):
+        r = analyze(ThresholdSelect(threshold=77))
+        f = r.selection.formula
+        assert f.evaluate("k", WEBPAGE.make("u", 78, "c"))
+        assert not f.evaluate("k", WEBPAGE.make("u", 77, "c"))
+
+    def test_elif_produces_two_disjuncts(self):
+        r = analyze(ElifSelect())
+        f = r.selection.formula
+        assert len(f.disjuncts) == 2
+        assert f.evaluate("k", WEBPAGE.make("u", 101, "c"))
+        assert f.evaluate("k", WEBPAGE.make("u", 4, "c"))
+        assert not f.evaluate("k", WEBPAGE.make("u", 50, "c"))
+
+    def test_conjunctive_range(self):
+        r = analyze(RangeSelect())
+        f = r.selection.formula
+        assert f.evaluate("k", WEBPAGE.make("u", 15, "c"))
+        assert not f.evaluate("k", WEBPAGE.make("u", 21, "c"))
+
+    def test_string_method_via_kb(self):
+        r = analyze(StringMethodSelect())
+        assert r.selection is not None
+        f = r.selection.formula
+        assert f.evaluate("k", WEBPAGE.make("https://x", 0, "c"))
+        assert not f.evaluate("k", WEBPAGE.make("http://x", 0, "c"))
+
+    def test_early_return_negated_condition(self):
+        r = analyze(EarlyReturnSelect())
+        f = r.selection.formula
+        assert f.evaluate("k", WEBPAGE.make("u", 1, "c"))
+        assert not f.evaluate("k", WEBPAGE.make("u", 0, "c"))
+
+    def test_nested_if_is_conjunction(self):
+        r = analyze(NestedIfSelect())
+        f = r.selection.formula
+        assert f.evaluate("k", WEBPAGE.make("u", 10, "c"))
+        assert not f.evaluate("k", WEBPAGE.make("u", 60, "c"))
+        assert not f.evaluate("k", WEBPAGE.make("u", 2, "c"))
+
+    @given(threshold=st.integers(min_value=-100, max_value=100),
+           rank=st.integers(min_value=-100, max_value=100))
+    @settings(max_examples=50, deadline=None)
+    def test_formula_matches_mapper_semantics(self, threshold, rank):
+        """Property: the extracted formula is true iff the mapper emits."""
+        from repro.mapreduce.api import Context
+
+        mapper = ThresholdSelect(threshold=threshold)
+        record = WEBPAGE.make("u", rank, "c")
+        ctx = Context()
+        mapper.map("k", record, ctx)
+        emitted = bool(ctx.emitted)
+        formula = analyze(mapper).selection.formula
+        assert formula.evaluate("k", record) == emitted
+
+
+class TestNotPresent:
+    def test_always_emit_trivially_true(self):
+        r = analyze(AlwaysEmit())
+        assert r.selection is None
+        assert any("trivially true" in n or "unconditionally" in n
+                   for n in r.notes["SELECT"])
+
+    def test_never_emit(self):
+        r = analyze(NeverEmit())
+        assert r.selection is None
+
+
+class TestUnsafe:
+    def test_fig2_member_counter_rejected(self):
+        r = analyze(MemberCounterSelect())
+        assert r.selection is None
+        assert any("mutated across invocations" in n
+                   for n in r.notes["SELECT"])
+
+    def test_loop_rejected(self):
+        r = analyze(LoopSelect())
+        assert r.selection is None
+        assert any("loop" in n for n in r.notes["SELECT"])
+
+    def test_helper_method_rejected(self):
+        r = analyze(HelperMethodSelect())
+        assert r.selection is None
+        assert any("own method" in n for n in r.notes["SELECT"])
+
+    def test_member_emit_value_rejected(self):
+        r = analyze(EmitValueFromMember())
+        assert r.selection is None
+        assert any("emit value is not functional" in n
+                   for n in r.notes["SELECT"])

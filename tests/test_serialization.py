@@ -1,0 +1,219 @@
+"""Tests for schemas, records, and binary serialization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import (
+    FieldNotPresentError,
+    SchemaError,
+    SerializationError,
+)
+from repro.storage.serialization import (
+    Field,
+    FieldType,
+    OpaqueSchema,
+    Record,
+    Schema,
+    STRING_SCHEMA,
+    primitive_schema,
+    register_opaque_schema,
+)
+
+UV = Schema(
+    "UV",
+    [
+        Field("ip", FieldType.STRING),
+        Field("date", FieldType.LONG),
+        Field("revenue", FieldType.INT),
+        Field("score", FieldType.DOUBLE),
+        Field("active", FieldType.BOOL),
+        Field("blob", FieldType.BYTES),
+    ],
+)
+
+
+class TestSchemaDefinition:
+    def test_duplicate_field_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("S", [Field("a", FieldType.INT), Field("a", FieldType.INT)])
+
+    def test_invalid_field_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Field("not valid", FieldType.INT)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("", [Field("a", FieldType.INT)])
+
+    def test_field_lookup(self):
+        assert UV.field("date").ftype is FieldType.LONG
+        assert UV.field_index("revenue") == 2
+        assert UV.field_index("nope") is None
+        with pytest.raises(SchemaError):
+            UV.field("nope")
+
+    def test_numeric_fields_are_integral_only(self):
+        # DOUBLE is numeric mathematically but not delta-compressible.
+        assert UV.numeric_field_names() == ["date", "revenue"]
+
+    def test_projection_preserves_field_order(self):
+        proj = UV.project(["revenue", "ip"])
+        assert [f.name for f in proj.fields] == ["ip", "revenue"]
+
+    def test_projection_unknown_field_rejected(self):
+        with pytest.raises(SchemaError):
+            UV.project(["nope"])
+
+    def test_roundtrip_through_dict(self):
+        again = Schema.from_dict(UV.to_dict())
+        assert again == UV
+
+
+class TestRecord:
+    def test_make_positional_and_named(self):
+        r1 = UV.make("1.2.3.4", 10, 5, 0.5, True, b"x")
+        r2 = UV.make("1.2.3.4", 10, revenue=5, score=0.5, active=True, blob=b"x")
+        assert r1 == r2
+
+    def test_missing_field_value_rejected(self):
+        with pytest.raises(SerializationError):
+            UV.make("1.2.3.4", 10)
+
+    def test_unknown_kwarg_rejected(self):
+        with pytest.raises(SerializationError):
+            UV.make("a", 1, 2, 0.1, True, b"", bogus=1)
+
+    def test_attribute_access(self):
+        r = UV.make("a", 1, 2, 0.5, False, b"z")
+        assert r.ip == "a" and r.revenue == 2 and r.active is False
+
+    def test_missing_attribute_raises_field_error(self):
+        r = UV.make("a", 1, 2, 0.5, False, b"z")
+        with pytest.raises(FieldNotPresentError):
+            _ = r.nonexistent
+
+    def test_field_error_is_attribute_error(self):
+        r = UV.make("a", 1, 2, 0.5, False, b"z")
+        assert getattr(r, "nonexistent", "dflt") == "dflt"
+        assert not hasattr(r, "nonexistent")
+
+    def test_records_immutable(self):
+        r = UV.make("a", 1, 2, 0.5, False, b"z")
+        with pytest.raises(SerializationError):
+            r.ip = "other"
+
+    def test_replace(self):
+        r = UV.make("a", 1, 2, 0.5, False, b"z")
+        r2 = r.replace(revenue=99)
+        assert r2.revenue == 99 and r.revenue == 2
+        with pytest.raises(FieldNotPresentError):
+            r.replace(bogus=1)
+
+    def test_to_dict_and_equality_and_hash(self):
+        r = UV.make("a", 1, 2, 0.5, False, b"z")
+        assert r.to_dict()["date"] == 1
+        same = UV.make("a", 1, 2, 0.5, False, b"z")
+        assert r == same and hash(r) == hash(same)
+        assert r != UV.make("a", 1, 3, 0.5, False, b"z")
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        r = UV.make("1.2.3.4", -100, 2**31, -1.25, True, b"\x00\xff")
+        assert UV.decode(UV.encode(r)) == r
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(SerializationError):
+            UV.encode(UV.make(123, 1, 2, 0.5, True, b""))
+
+    def test_bool_not_accepted_as_int(self):
+        with pytest.raises(SerializationError):
+            UV.encode(UV.make("a", True, 2, 0.5, True, b""))
+
+    def test_trailing_bytes_rejected(self):
+        raw = UV.encode(UV.make("a", 1, 2, 0.5, True, b""))
+        with pytest.raises(SerializationError):
+            UV.decode(raw + b"\x00")
+
+    def test_truncation_rejected(self):
+        raw = UV.encode(UV.make("abc", 1, 2, 0.5, True, b"xyz"))
+        with pytest.raises(SerializationError):
+            UV.decode(raw[:-2])
+
+    def test_wrong_schema_record_rejected(self):
+        other = primitive_schema("Other", FieldType.INT)
+        with pytest.raises(SerializationError):
+            UV.encode(other.make(1))
+
+    @given(
+        ip=st.text(max_size=30),
+        date=st.integers(min_value=-(1 << 62), max_value=1 << 62),
+        revenue=st.integers(min_value=-(1 << 30), max_value=1 << 30),
+        score=st.floats(allow_nan=False, allow_infinity=False, width=64),
+        active=st.booleans(),
+        blob=st.binary(max_size=40),
+    )
+    def test_roundtrip_property(self, ip, date, revenue, score, active, blob):
+        record = UV.make(ip, date, revenue, score, active, blob)
+        assert UV.decode(UV.encode(record)) == record
+
+
+class TestOpaqueSchema:
+    def _schema(self, name="Blob"):
+        def enc(record):
+            return f"{record.a}|{record.b}".encode()
+
+        def dec(schema, raw):
+            a, b = raw.decode().split("|")
+            return Record(schema, [a, int(b)])
+
+        return OpaqueSchema(
+            name,
+            [Field("a", FieldType.STRING), Field("b", FieldType.INT)],
+            encoder=enc,
+            decoder=dec,
+        )
+
+    def test_roundtrip(self):
+        s = self._schema()
+        r = s.make("hello", 42)
+        assert s.decode(s.encode(r)) == r
+
+    def test_not_transparent(self):
+        assert self._schema().transparent is False
+
+    def test_no_numeric_fields_exposed(self):
+        # The whole point: the analyzer sees no structure.
+        assert self._schema().numeric_field_names() == []
+
+    def test_projection_rejected(self):
+        with pytest.raises(SchemaError):
+            self._schema().project(["a"])
+
+    def test_missing_codec_errors(self):
+        bare = OpaqueSchema("Bare")
+        with pytest.raises(SerializationError):
+            bare.encode(Record(bare, []))
+        with pytest.raises(SerializationError):
+            bare.decode(b"")
+
+    def test_registry_resolves_from_dict(self):
+        s = register_opaque_schema(self._schema("BlobResolve"))
+        resolved = Schema.from_dict(s.to_dict())
+        assert resolved is s
+
+    def test_unregistered_opaque_resolves_to_bare_shell(self):
+        shell = Schema.from_dict({"name": "NeverRegistered", "transparent": False})
+        assert shell.transparent is False
+        with pytest.raises(SerializationError):
+            shell.decode(b"anything")
+
+    def test_registry_idempotent_for_same_object(self):
+        s = self._schema("BlobIdem")
+        register_opaque_schema(s)
+        assert register_opaque_schema(s) is s
+
+    def test_registry_conflict_rejected(self):
+        register_opaque_schema(self._schema("BlobConflict"))
+        with pytest.raises(SchemaError):
+            register_opaque_schema(self._schema("BlobConflict"))

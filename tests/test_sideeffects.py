@@ -1,0 +1,82 @@
+"""Tests for side-effect detection (paper Section 2.2)."""
+
+from repro.core.analyzer import ManimalAnalyzer
+from repro.mapreduce.api import Mapper
+from repro.storage.serialization import STRING_SCHEMA
+from tests.conftest import WEBPAGE
+
+ANALYZER = ManimalAnalyzer()
+
+
+def effects_of(mapper):
+    result = ANALYZER.analyze_mapper(mapper, STRING_SCHEMA, WEBPAGE,
+                                     reduce_leaks_key=True)
+    return {e.category for e in result.side_effects}
+
+
+class PrintingMapper(Mapper):
+    def map(self, key, value, ctx):
+        print(value.url)
+        if value.rank > 1:
+            ctx.emit(key, 1)
+
+
+class CounterMapper(Mapper):
+    def map(self, key, value, ctx):
+        ctx.increment("app", "records")
+        ctx.emit(key, 1)
+
+
+class MemberMutatingMapper(Mapper):
+    seen = 0
+
+    def map(self, key, value, ctx):
+        self.seen += 1
+        ctx.emit(key, 1)
+
+
+class FileWritingMapper(Mapper):
+    def map(self, key, value, ctx):
+        log = open("/tmp/log.txt")
+        ctx.emit(key, 1)
+
+
+class CleanMapper(Mapper):
+    def map(self, key, value, ctx):
+        if value.rank > 1:
+            ctx.emit(key, value.rank * 2)
+
+
+class TestDetection:
+    def test_print_detected(self):
+        assert "print" in effects_of(PrintingMapper())
+
+    def test_counter_detected(self):
+        assert "counter" in effects_of(CounterMapper())
+
+    def test_member_mutation_detected(self):
+        assert "member-mutation" in effects_of(MemberMutatingMapper())
+
+    def test_file_io_detected(self):
+        assert "file-io" in effects_of(FileWritingMapper())
+
+    def test_clean_mapper_has_none(self):
+        assert effects_of(CleanMapper()) == set()
+
+
+class TestSideEffectsDoNotBlockSelection:
+    """Paper: the index skips map invocations 'even if doing so may also
+    mean skipping generating messages for the debug log'."""
+
+    def test_printing_mapper_still_selectable(self):
+        result = ANALYZER.analyze_mapper(PrintingMapper(), STRING_SCHEMA,
+                                         WEBPAGE, reduce_leaks_key=True)
+        assert result.selection is not None
+        assert "print" in {e.category for e in result.side_effects}
+
+    def test_counter_mapper_still_analyzed(self):
+        result = ANALYZER.analyze_mapper(CounterMapper(), STRING_SCHEMA,
+                                         WEBPAGE, reduce_leaks_key=True)
+        # Unconditional emit -> no selection, but not because of the counter.
+        assert any("unconditionally" in n or "trivially" in n
+                   for n in result.notes["SELECT"])

@@ -1,0 +1,116 @@
+"""Tests for the single-optimization workloads (Appendix D queries)."""
+
+import pytest
+
+from repro.core.manimal import Manimal
+from repro.mapreduce import run_job
+from repro.storage.recordfile import RecordFileReader
+from repro.workloads.datagen import (
+    generate_uservisits,
+    generate_webpages,
+    rank_threshold_for_selectivity,
+)
+from repro.workloads.single_opt import (
+    make_daily_session_job,
+    make_duration_sum_job,
+    make_projection_job,
+    make_selection_job,
+)
+
+
+@pytest.fixture
+def webpages(tmp_path):
+    path = str(tmp_path / "wp.rf")
+    generate_webpages(path, 1_000, content_size=100, rank_max=100)
+    return path
+
+
+@pytest.fixture
+def uservisits(tmp_path):
+    path = str(tmp_path / "uv.rf")
+    generate_uservisits(path, 800, n_urls=50, sorted_dates=True)
+    return path
+
+
+class TestSelectionSweepJob:
+    def test_counts_by_rank(self, webpages):
+        threshold = rank_threshold_for_selectivity(100, 0.10)
+        result = run_job(make_selection_job(webpages, threshold))
+        with RecordFileReader(webpages) as r:
+            expected = {}
+            for _, v in r.iter_records():
+                if v.rank > threshold:
+                    expected[v.rank] = expected.get(v.rank, 0) + 1
+        assert result.output_dict() == expected
+
+    def test_analysis_finds_only_expected_kinds(self, webpages, tmp_path):
+        system = Manimal(str(tmp_path / "cat"))
+        ia = system.analyze(make_selection_job(webpages, 50)).inputs[0]
+        assert ia.selection is not None
+        assert ia.projection is not None  # url/content unused
+        assert ia.delta is not None
+
+
+class TestProjectionJob:
+    def test_url_rank_pairs(self, webpages):
+        result = run_job(make_projection_job(webpages, 49))
+        assert all(isinstance(k, str) and isinstance(v, int)
+                   for k, v in result.outputs)
+        assert all(v > 49 for _, v in result.outputs)
+
+    def test_projection_detected_with_two_fields(self, webpages, tmp_path):
+        system = Manimal(str(tmp_path / "cat"))
+        ia = system.analyze(make_projection_job(webpages, 49)).inputs[0]
+        assert ia.projection is not None
+        assert set(ia.projection.used_value_fields) == {"url", "rank"}
+        assert ia.projection.unused_value_fields == ["content"]
+
+
+class TestDurationSumJob:
+    def test_sums_without_urls(self, uservisits):
+        result = run_job(make_duration_sum_job(uservisits))
+        # The reducer never emits the URL: all output keys are None.
+        assert all(k is None for k, _ in result.outputs)
+        with RecordFileReader(uservisits) as r:
+            total = sum(v.duration for _, v in r.iter_records())
+        assert sum(v for _, v in result.outputs) == total
+
+    def test_direct_operation_eligibility(self, uservisits, tmp_path):
+        system = Manimal(str(tmp_path / "cat"))
+        analysis = system.analyze(make_duration_sum_job(uservisits))
+        ia = analysis.inputs[0]
+        assert [d.field_name for d in ia.direct] == ["destURL"]
+
+
+class TestDailySessionJob:
+    def test_grouping_by_timestamp(self, uservisits):
+        result = run_job(make_daily_session_job(uservisits))
+        with RecordFileReader(uservisits) as r:
+            expected = {}
+            for _, v in r.iter_records():
+                rev, dur = expected.get(v.visitDate, (0, 0))
+                expected[v.visitDate] = (rev + v.adRevenue, dur + v.duration)
+        assert result.output_dict() == expected
+
+    def test_projection_keeps_three_numeric_fields(self, uservisits, tmp_path):
+        system = Manimal(str(tmp_path / "cat"))
+        ia = system.analyze(make_daily_session_job(uservisits)).inputs[0]
+        assert set(ia.projection.used_value_fields) == {
+            "visitDate", "adRevenue", "duration"
+        }
+        deltable = set(ia.delta.fields) & set(ia.projection.used_value_fields)
+        assert deltable == {"visitDate", "adRevenue", "duration"}
+
+
+class TestSortedDates:
+    def test_generator_produces_nondecreasing_dates(self, uservisits):
+        with RecordFileReader(uservisits) as r:
+            dates = [v.visitDate for _, v in r.iter_records()]
+        assert dates == sorted(dates)
+
+    def test_unsorted_by_default(self, tmp_path):
+        path = str(tmp_path / "u.rf")
+        generate_uservisits(path, 300, n_urls=20)
+        with RecordFileReader(path) as r:
+            dates = [v.visitDate for _, v in r.iter_records()]
+        assert dates != sorted(dates)

@@ -1,0 +1,104 @@
+"""Tests for the catalog space budget and LRU eviction."""
+
+import os
+
+import pytest
+
+from repro.core.manimal import Manimal
+from repro.core.optimizer import catalog as cat
+from repro.core.optimizer.catalog import Catalog, IndexEntry
+from repro.exceptions import CatalogError
+from repro.mapreduce import JobConf, RecordFileInput, run_job
+from repro.mapreduce.api import Mapper, Reducer
+from tests.conftest import write_webpages
+
+
+def _entry(catalog, size, source="/data/a.rf", kind=cat.KIND_PROJECTION,
+           make_file=True):
+    path = catalog.next_index_path(kind)
+    if make_file:
+        with open(path, "wb") as f:
+            f.write(b"\x00" * size)
+    return IndexEntry(
+        index_id=catalog.make_entry_id(),
+        kind=kind,
+        source_path=source,
+        index_path=path,
+        stats={"index_bytes": size, "source_bytes": size * 10},
+    )
+
+
+class TestBudgetEnforcement:
+    def test_oversized_index_refused(self, tmp_path):
+        catalog = Catalog(str(tmp_path), space_budget_bytes=100)
+        with pytest.raises(CatalogError, match="exceeds"):
+            catalog.register(_entry(catalog, 200))
+
+    def test_eviction_frees_space(self, tmp_path):
+        catalog = Catalog(str(tmp_path), space_budget_bytes=250)
+        first = _entry(catalog, 100)
+        second = _entry(catalog, 100)
+        catalog.register(first)
+        catalog.register(second)
+        assert catalog.total_index_bytes() == 200
+        third = _entry(catalog, 100)
+        catalog.register(third)  # must evict one
+        assert catalog.total_index_bytes() <= 250
+        assert len(catalog) == 2
+        # The evicted file is gone from disk.
+        remaining = {e.index_path for e in catalog.sorted_entries()}
+        assert not os.path.exists(first.index_path) or \
+            first.index_path in remaining
+
+    def test_lru_victim_selection(self, tmp_path):
+        catalog = Catalog(str(tmp_path), space_budget_bytes=250)
+        a = _entry(catalog, 100)
+        b = _entry(catalog, 100)
+        catalog.register(a)
+        catalog.register(b)
+        catalog.touch(a.index_id)  # a becomes recently used
+        c = _entry(catalog, 100)
+        catalog.register(c)
+        ids = {e.index_id for e in catalog.sorted_entries()}
+        assert a.index_id in ids, "recently used index must survive"
+        assert b.index_id not in ids, "LRU index must be evicted"
+
+    def test_no_budget_means_no_eviction(self, tmp_path):
+        catalog = Catalog(str(tmp_path))
+        for _ in range(5):
+            catalog.register(_entry(catalog, 1000))
+        assert len(catalog) == 5
+
+    def test_budget_persisted_usage(self, tmp_path):
+        catalog = Catalog(str(tmp_path), space_budget_bytes=10_000)
+        entry = _entry(catalog, 100)
+        catalog.register(entry)
+        catalog.touch(entry.index_id)
+        catalog.touch(entry.index_id)
+        reloaded = Catalog(str(tmp_path), space_budget_bytes=10_000)
+        assert reloaded.get(entry.index_id).use_count == 2
+
+
+class FilterMapper(Mapper):
+    def map(self, key, value, ctx):
+        if value.rank > 40:
+            ctx.emit(value.rank, 1)
+
+
+class CountReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, sum(values))
+
+
+class TestEndToEndWithBudget:
+    def test_system_with_budget_still_optimizes(self, tmp_path):
+        path = write_webpages(tmp_path / "w.rf", 300)
+        job = JobConf(name="b", mapper=FilterMapper, reducer=CountReducer,
+                      inputs=[RecordFileInput(path)])
+        system = Manimal(str(tmp_path / "cat"),
+                         space_budget_bytes=50 * 1024 * 1024)
+        baseline = run_job(job)
+        outcome = system.submit(job, build_indexes=True)
+        assert outcome.optimized
+        assert sorted(outcome.result.outputs) == sorted(baseline.outputs)
+        assert system.catalog.total_index_bytes() <= 50 * 1024 * 1024

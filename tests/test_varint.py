@@ -1,0 +1,110 @@
+"""Unit + property tests for the varint/zigzag encodings."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import SerializationError
+from repro.storage import varint
+
+
+class TestUvarint:
+    def test_zero_is_one_byte(self):
+        assert varint.encode_uvarint(0) == b"\x00"
+
+    def test_small_values_one_byte(self):
+        for v in range(128):
+            assert len(varint.encode_uvarint(v)) == 1
+
+    def test_128_needs_two_bytes(self):
+        assert len(varint.encode_uvarint(128)) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(SerializationError):
+            varint.encode_uvarint(-1)
+
+    def test_too_large_rejected(self):
+        with pytest.raises(SerializationError):
+            varint.encode_uvarint(1 << 64)
+
+    def test_max_u64_roundtrip(self):
+        raw = varint.encode_uvarint((1 << 64) - 1)
+        assert varint.decode_uvarint(raw) == ((1 << 64) - 1, len(raw))
+
+    def test_decode_with_offset(self):
+        buf = b"\xff" + varint.encode_uvarint(300)
+        value, pos = varint.decode_uvarint(buf, 1)
+        assert value == 300
+        assert pos == len(buf)
+
+    def test_truncated_raises(self):
+        raw = varint.encode_uvarint(1 << 40)
+        with pytest.raises(SerializationError):
+            varint.decode_uvarint(raw[:-1])
+
+    def test_overlong_raises(self):
+        with pytest.raises(SerializationError):
+            varint.decode_uvarint(b"\x80" * 11)
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_roundtrip(self, value):
+        raw = varint.encode_uvarint(value)
+        decoded, pos = varint.decode_uvarint(raw)
+        assert decoded == value
+        assert pos == len(raw)
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_length_helper_matches(self, value):
+        assert varint.uvarint_len(value) == len(varint.encode_uvarint(value))
+
+    @given(st.integers(min_value=0, max_value=(1 << 63)),
+           st.integers(min_value=0, max_value=(1 << 63)))
+    def test_smaller_values_never_longer(self, a, b):
+        lo, hi = sorted((a, b))
+        assert varint.uvarint_len(lo) <= varint.uvarint_len(hi)
+
+
+class TestZigzag:
+    @pytest.mark.parametrize("value,expected", [
+        (0, 0), (-1, 1), (1, 2), (-2, 3), (2, 4),
+    ])
+    def test_known_mapping(self, value, expected):
+        assert varint.zigzag_encode(value) == expected
+
+    def test_bounds(self):
+        assert varint.zigzag_decode(varint.zigzag_encode(-(1 << 63))) == -(1 << 63)
+        assert varint.zigzag_decode(varint.zigzag_encode((1 << 63) - 1)) == (1 << 63) - 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(SerializationError):
+            varint.zigzag_encode(1 << 63)
+
+    @given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+    def test_roundtrip(self, value):
+        assert varint.zigzag_decode(varint.zigzag_encode(value)) == value
+
+    @given(st.integers(min_value=-(1 << 62), max_value=(1 << 62)))
+    def test_small_magnitude_small_encoding(self, value):
+        # The size-sensitivity property delta-compression relies on.
+        raw = varint.encode_svarint(value)
+        if -64 <= value < 64:
+            assert len(raw) == 1
+
+
+class TestSvarint:
+    @given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+    def test_roundtrip(self, value):
+        raw = varint.encode_svarint(value)
+        decoded, pos = varint.decode_svarint(raw)
+        assert decoded == value
+        assert pos == len(raw)
+
+    @given(st.lists(st.integers(min_value=-(1 << 31), max_value=1 << 31),
+                    min_size=1, max_size=50))
+    def test_concatenated_stream(self, values):
+        buf = b"".join(varint.encode_svarint(v) for v in values)
+        pos = 0
+        out = []
+        while pos < len(buf):
+            v, pos = varint.decode_svarint(buf, pos)
+            out.append(v)
+        assert out == values

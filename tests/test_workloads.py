@@ -1,0 +1,212 @@
+"""Tests for workload generators and the four Pavlo benchmark programs."""
+
+import os
+
+import pytest
+
+from repro.core.manimal import Manimal
+from repro.mapreduce import run_job
+from repro.mapreduce.runtime import LocalJobRunner
+from repro.storage.recordfile import RecordFileReader
+from repro.workloads.datagen import (
+    VISIT_DATE_HI,
+    VISIT_DATE_LO,
+    ZipfSampler,
+    generate_documents,
+    generate_rankings,
+    generate_uservisits,
+    generate_webpages,
+    rank_threshold_for_selectivity,
+)
+from repro.workloads.pavlo import (
+    benchmark1 as b1,
+    benchmark2 as b2,
+    benchmark3 as b3,
+    benchmark4 as b4,
+)
+import random
+
+
+class TestGenerators:
+    def test_webpages_deterministic(self, tmp_path):
+        p1, p2 = str(tmp_path / "a.rf"), str(tmp_path / "b.rf")
+        generate_webpages(p1, 200, seed=3)
+        generate_webpages(p2, 200, seed=3)
+        assert open(p1, "rb").read() == open(p2, "rb").read()
+        generate_webpages(str(tmp_path / "c.rf"), 200, seed=4)
+        assert open(p1, "rb").read() != open(
+            str(tmp_path / "c.rf"), "rb"
+        ).read()
+
+    def test_webpages_rank_bounds(self, tmp_path):
+        path = str(tmp_path / "w.rf")
+        generate_webpages(path, 300, rank_max=10)
+        with RecordFileReader(path) as r:
+            ranks = [v.rank for _, v in r.iter_records()]
+        assert min(ranks) >= 0 and max(ranks) < 10
+
+    def test_uservisits_schema_and_dates(self, tmp_path):
+        path = str(tmp_path / "uv.rf")
+        generate_uservisits(path, 300)
+        with RecordFileReader(path) as r:
+            rows = [v for _, v in r.iter_records()]
+        assert len(rows) == 300
+        assert all(VISIT_DATE_LO <= v.visitDate < VISIT_DATE_HI for v in rows)
+        assert all(v.duration >= 1 for v in rows)
+
+    def test_documents_embed_links(self, tmp_path):
+        path = str(tmp_path / "d.rf")
+        generate_documents(path, 50, n_urls=20)
+        with RecordFileReader(path) as r:
+            contents = [v.content for _, v in r.iter_records()]
+        assert all("http://" in c for c in contents)
+
+    def test_zipf_sampler_is_skewed(self):
+        rng = random.Random(1)
+        z = ZipfSampler(100, alpha=1.0)
+        samples = [z.sample(rng) for _ in range(5000)]
+        head = sum(1 for s in samples if s == 0)
+        tail = sum(1 for s in samples if s == 99)
+        assert head > 20 * max(tail, 1)
+        assert 0 <= min(samples) and max(samples) < 100
+
+    def test_threshold_selectivity_math(self):
+        rank_max = 1000
+        for sel in (0.6, 0.3, 0.1):
+            t = rank_threshold_for_selectivity(rank_max, sel)
+            admitted = sum(1 for r in range(rank_max) if r > t)
+            assert admitted / rank_max == pytest.approx(sel, abs=0.01)
+
+
+class TestBenchmark1:
+    def test_opaque_input_roundtrips(self, tmp_path):
+        path = str(tmp_path / "r.rf")
+        b1.generate_input(path, 100)
+        with RecordFileReader(path) as r:
+            assert not r.value_schema.transparent
+            rows = [v for _, v in r.iter_records()]
+        assert all(isinstance(v.pageRank, int) for v in rows)
+
+    def test_job_output_matches_selectivity(self, tmp_path):
+        path = str(tmp_path / "r.rf")
+        b1.generate_input(path, 1000, rank_max=100)
+        job = b1.make_job(path, threshold=89)  # ~10%
+        result = run_job(job)
+        assert 50 <= len(result.outputs) <= 150
+        assert all(rank > 89 for _, rank in result.outputs)
+
+    def test_end_to_end_selection_speedup(self, tmp_path):
+        path = str(tmp_path / "r.rf")
+        b1.generate_input(path, 2000, rank_max=10_000)
+        job = b1.make_job(path, threshold=9_989)
+        baseline = run_job(job)
+        system = Manimal(str(tmp_path / "cat"))
+        outcome = system.submit(job, build_indexes=True)
+        assert outcome.optimized
+        assert sorted(outcome.result.outputs) == sorted(baseline.outputs)
+        assert outcome.result.metrics.map_input_records < 100
+
+
+class TestBenchmark2:
+    def test_aggregation_correct(self, tmp_path):
+        path = str(tmp_path / "uv.rf")
+        b2.generate_input(path, 500)
+        result = run_job(b2.make_job(path))
+        with RecordFileReader(path) as r:
+            expected = {}
+            for _, v in r.iter_records():
+                expected[v.sourceIP] = expected.get(v.sourceIP, 0) + v.adRevenue
+        assert result.output_dict() == expected
+
+
+class TestBenchmark3:
+    def test_join_matches_reference(self, tmp_path):
+        pr, pv = str(tmp_path / "r.rf"), str(tmp_path / "v.rf")
+        b3.generate_inputs(pr, pv, 200, 800, n_urls=100)
+        lo, hi = b3.date_window_for_selectivity(0.05)
+        result = run_job(b3.make_join_job(pr, pv, lo, hi))
+
+        # Reference join computed directly.
+        with RecordFileReader(pr) as r:
+            ranks = {}
+            for _, v in r.iter_records():
+                ranks.setdefault(v.pageURL, []).append(v.pageRank)
+        expected = []
+        with RecordFileReader(pv) as r:
+            for _, v in r.iter_records():
+                if lo <= v.visitDate <= hi:
+                    for rank in ranks.get(v.destURL, []):
+                        expected.append((v.sourceIP, (rank, v.adRevenue)))
+        assert sorted(result.outputs) == sorted(expected)
+
+    def test_aggregate_phase(self, tmp_path):
+        pr, pv = str(tmp_path / "r.rf"), str(tmp_path / "v.rf")
+        b3.generate_inputs(pr, pv, 100, 400, n_urls=50)
+        lo, hi = b3.date_window_for_selectivity(0.1)
+        join = run_job(b3.make_join_job(pr, pv, lo, hi))
+        final = b3.run_aggregate_phase(join, LocalJobRunner())
+        for _ip, (avg_rank, revenue) in final.outputs:
+            assert avg_rank > 0 and revenue > 0
+
+
+class TestBenchmark4:
+    def test_inlink_counts_correct(self, tmp_path):
+        path = str(tmp_path / "d.rf")
+        b4.generate_input(path, 60, n_urls=30)
+        result = run_job(b4.make_job(path))
+
+        with RecordFileReader(path) as r:
+            expected = {}
+            for _, v in r.iter_records():
+                seen = set()
+                for token in v.content.split():
+                    if token.startswith("http://") and token not in seen:
+                        seen.add(token)
+                        expected[token] = expected.get(token, 0) + 1
+        assert result.output_dict() == expected
+
+
+class TestTable1Cells:
+    """The analyzer-recall matrix must match the paper cell for cell."""
+
+    def test_all_cells(self, tmp_path):
+        system = Manimal(str(tmp_path / "cat"))
+
+        p1 = str(tmp_path / "b1.rf")
+        b1.generate_input(p1, 100)
+        a1 = system.analyze(b1.make_job(p1, threshold=50)).inputs[0]
+        assert (a1.selection is not None) == b1.PAPER_ANALYZER["SELECT"]
+        assert (a1.projection is not None) == b1.PAPER_ANALYZER["PROJECT"]
+        assert (a1.delta is not None) == b1.PAPER_ANALYZER["DELTA"]
+
+        p2 = str(tmp_path / "b2.rf")
+        b2.generate_input(p2, 100)
+        a2 = system.analyze(b2.make_job(p2)).inputs[0]
+        assert (a2.selection is not None) == b2.PAPER_ANALYZER["SELECT"]
+        assert (a2.projection is not None) == b2.PAPER_ANALYZER["PROJECT"]
+        assert (a2.delta is not None) == b2.PAPER_ANALYZER["DELTA"]
+
+        pr, pv = str(tmp_path / "b3r.rf"), str(tmp_path / "b3v.rf")
+        b3.generate_inputs(pr, pv, 50, 100)
+        lo, hi = b3.date_window_for_selectivity(0.01)
+        a3 = system.analyze(b3.make_join_job(pr, pv, lo, hi))
+        uv = [ia for ia in a3.inputs if ia.input_tag == "uservisits"][0]
+        assert (uv.selection is not None) == b3.PAPER_ANALYZER["SELECT"]
+        assert (uv.projection is not None) == b3.PAPER_ANALYZER["PROJECT"]
+        assert (uv.delta is not None) == b3.PAPER_ANALYZER["DELTA"]
+
+        p4 = str(tmp_path / "b4.rf")
+        b4.generate_input(p4, 30)
+        a4 = system.analyze(b4.make_job(p4)).inputs[0]
+        assert (a4.selection is not None) == b4.PAPER_ANALYZER["SELECT"]
+        assert (a4.projection is not None) == b4.PAPER_ANALYZER["PROJECT"]
+        assert (a4.delta is not None) == b4.PAPER_ANALYZER["DELTA"]
+
+    def test_misses_are_the_humans_finds(self):
+        """Where analyzer and human disagree, it is always a miss, never a
+        false positive (Undetected, not spurious Detected)."""
+        for bench in (b1, b2, b3, b4):
+            for kind, human in bench.HUMAN_ANNOTATION.items():
+                analyzed = bench.PAPER_ANALYZER[kind]
+                if analyzed:
+                    assert human, f"{bench.__name__}:{kind} false positive"
