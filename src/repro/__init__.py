@@ -3,7 +3,7 @@
 A full reproduction of Jahani, Cafarella & Re, "Automatic Optimization
 for MapReduce Programs", PVLDB 4(6), 2011.
 
-Quickstart::
+Quickstart (classic path -- submit an unmodified MapReduce job)::
 
     from repro import Manimal, JobConf, Mapper, Reducer, RecordFileInput
 
@@ -23,14 +23,40 @@ Quickstart::
     outcome = system.submit(conf, build_indexes=True)
     print(outcome.summary())
     print(outcome.result.sorted_outputs())
+
+Fluent path (paper Appendix A -- a layered tool that hands the optimizer
+exact descriptors instead of being statically analyzed)::
+
+    from repro import Session, col
+
+    with Session(catalog_dir="./catalog") as session:
+        pages = session.read("webpages.rf")
+        top = pages.filter(col("rank") > 990).select("url", "rank")
+        rows = top.collect()          # plain scan
+        session.build_indexes(top)    # admin builds the synthesized index
+        rows2 = top.collect()         # indexed selection + projection
 """
 
+from repro.api import (
+    Dataset,
+    DatasetResult,
+    Session,
+    avg_of,
+    col,
+    count,
+    lit,
+    max_of,
+    min_of,
+    sum_of,
+)
 from repro.core.manimal import Manimal, ManimalResult
 from repro.core.pipeline import ManimalPipeline
-from repro.explain import explain_job
+from repro.explain import explain_dataset, explain_job
 from repro.mapreduce import (
     Context,
     CostModel,
+    FunctionMapper,
+    FunctionReducer,
     JobConf,
     JobResult,
     Mapper,
@@ -41,13 +67,17 @@ from repro.mapreduce import (
 )
 from repro.storage import Field, FieldType, Record, Schema
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Context",
     "CostModel",
+    "Dataset",
+    "DatasetResult",
     "Field",
     "FieldType",
+    "FunctionMapper",
+    "FunctionReducer",
     "JobConf",
     "JobResult",
     "Manimal",
@@ -59,7 +89,16 @@ __all__ = [
     "RecordFileInput",
     "Reducer",
     "Schema",
+    "Session",
     "__version__",
+    "avg_of",
+    "col",
+    "count",
+    "explain_dataset",
     "explain_job",
+    "lit",
+    "max_of",
+    "min_of",
     "run_job",
+    "sum_of",
 ]

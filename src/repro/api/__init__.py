@@ -1,0 +1,53 @@
+"""Fluent Session/Dataset API lowering to optimized MapReduce plans.
+
+This package is the paper's Appendix A made concrete: a layered tool that
+synthesizes MapReduce jobs from a high-level language and "sidesteps the
+analyzer", handing Manimal exact optimization descriptors instead.
+
+Quickstart::
+
+    from repro.api import Session, col, count
+
+    with Session(catalog_dir="./catalog") as session:
+        pages = session.read("webpages.rf")
+        top = pages.filter(col("rank") > 990).select("url", "rank")
+        rows = top.collect()                # plain scan
+        session.build_indexes(top)          # admin builds the B+Tree
+        rows2 = top.collect()               # indexed selection + projection
+        print(top.explain())
+"""
+
+from repro.api.dataset import Dataset, DatasetResult, GroupedDataset
+from repro.api.expressions import Expr, col, lit, selection_formula
+from repro.api.plan import (
+    AggSpec,
+    LoweredPlan,
+    StagePlan,
+    avg_of,
+    count,
+    lower_plan,
+    max_of,
+    min_of,
+    sum_of,
+)
+from repro.api.session import Session
+
+__all__ = [
+    "AggSpec",
+    "Dataset",
+    "DatasetResult",
+    "Expr",
+    "GroupedDataset",
+    "LoweredPlan",
+    "Session",
+    "StagePlan",
+    "avg_of",
+    "col",
+    "count",
+    "lit",
+    "lower_plan",
+    "max_of",
+    "min_of",
+    "selection_formula",
+    "sum_of",
+]

@@ -1,0 +1,275 @@
+"""Column expressions for the fluent :class:`~repro.api.Dataset` API.
+
+A :func:`col` reference combined with comparison/boolean operators builds a
+small predicate tree.  Unlike user mapper code -- which Manimal must
+*reverse-engineer* with static analysis -- these trees are born structured,
+so the API layer can hand the optimizer exact optimization descriptors
+(paper Appendix A: layered tools "sidestep the analyzer and accept
+optimization descriptions directly").
+
+Every expression supports three renderings:
+
+* :meth:`Expr.to_symbolic` -- the analyzer's :class:`SymExpr` form, used to
+  assemble :class:`SelectionFormula` hints the planner and the
+  index-generation synthesizer already understand;
+* :meth:`Expr.to_source` -- Python source over a record variable, spliced
+  into synthesized mapper code so the static analyzer re-derives the very
+  same formula when hints are withheld;
+* :meth:`Expr.evaluate` -- direct evaluation against a decoded record.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, List, Sequence, Tuple
+
+from repro.core.analyzer.conditions import (
+    Conjunct,
+    ROLE_VALUE,
+    SArith,
+    SBool,
+    SCompare,
+    SConst,
+    SNot,
+    SParamField,
+    SelectionFormula,
+    SymExpr,
+    term_dnf,
+)
+from repro.exceptions import JobConfigError
+
+_CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
+_ARITH_OPS = ("+", "-", "*", "/", "//", "%")
+
+
+class Expr:
+    """Base class of fluent column expressions."""
+
+    # -- comparisons --------------------------------------------------------
+
+    def __eq__(self, other: Any) -> "Compare":  # type: ignore[override]
+        return Compare("==", self, _wrap(other))
+
+    def __ne__(self, other: Any) -> "Compare":  # type: ignore[override]
+        return Compare("!=", self, _wrap(other))
+
+    def __lt__(self, other: Any) -> "Compare":
+        return Compare("<", self, _wrap(other))
+
+    def __le__(self, other: Any) -> "Compare":
+        return Compare("<=", self, _wrap(other))
+
+    def __gt__(self, other: Any) -> "Compare":
+        return Compare(">", self, _wrap(other))
+
+    def __ge__(self, other: Any) -> "Compare":
+        return Compare(">=", self, _wrap(other))
+
+    __hash__ = None  # type: ignore[assignment]  # == builds an Expr
+
+    # -- boolean combinators -------------------------------------------------
+
+    def __and__(self, other: "Expr") -> "BoolExpr":
+        return BoolExpr("and", self, _require_expr(other))
+
+    def __or__(self, other: "Expr") -> "BoolExpr":
+        return BoolExpr("or", self, _require_expr(other))
+
+    def __invert__(self) -> "NotExpr":
+        return NotExpr(self)
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def __add__(self, other: Any) -> "Arith":
+        return Arith("+", self, _wrap(other))
+
+    def __sub__(self, other: Any) -> "Arith":
+        return Arith("-", self, _wrap(other))
+
+    def __mul__(self, other: Any) -> "Arith":
+        return Arith("*", self, _wrap(other))
+
+    def __truediv__(self, other: Any) -> "Arith":
+        return Arith("/", self, _wrap(other))
+
+    def __mod__(self, other: Any) -> "Arith":
+        return Arith("%", self, _wrap(other))
+
+    # -- renderings ----------------------------------------------------------
+
+    def to_symbolic(self) -> SymExpr:
+        """The analyzer's symbolic form of this expression."""
+        raise NotImplementedError
+
+    def to_source(self, var: str = "value") -> str:
+        """Python source reading fields off record variable ``var``."""
+        raise NotImplementedError
+
+    def columns(self) -> FrozenSet[str]:
+        """Names of the value columns this expression references."""
+        raise NotImplementedError
+
+    def evaluate(self, record: Any) -> Any:
+        """Evaluate against one decoded value record."""
+        return self.to_symbolic().evaluate(None, record)
+
+    def __repr__(self) -> str:
+        return self.to_source("value")
+
+    def __bool__(self) -> bool:
+        raise JobConfigError(
+            "column expressions have no truth value; combine them with "
+            "& | ~ (not `and`/`or`/`not`)"
+        )
+
+
+class Col(Expr):
+    """A reference to one value-record column."""
+
+    def __init__(self, name: str):
+        if not name.isidentifier():
+            raise JobConfigError(f"column name {name!r} is not an identifier")
+        self.name = name
+
+    def to_symbolic(self) -> SymExpr:
+        return SParamField(ROLE_VALUE, (self.name,))
+
+    def to_source(self, var: str = "value") -> str:
+        return f"{var}.{self.name}"
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset((self.name,))
+
+
+class Lit(Expr):
+    """A literal constant."""
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def to_symbolic(self) -> SymExpr:
+        return SConst(self.value)
+
+    def to_source(self, var: str = "value") -> str:
+        return repr(self.value)
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset()
+
+
+class Compare(Expr):
+    """A comparison between two sub-expressions."""
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        if op not in _CMP_OPS:
+            raise JobConfigError(f"unsupported comparison {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def to_symbolic(self) -> SymExpr:
+        return SCompare(self.op, self.left.to_symbolic(),
+                        self.right.to_symbolic())
+
+    def to_source(self, var: str = "value") -> str:
+        return f"({self.left.to_source(var)} {self.op} {self.right.to_source(var)})"
+
+    def columns(self) -> FrozenSet[str]:
+        return self.left.columns() | self.right.columns()
+
+
+class BoolExpr(Expr):
+    """Conjunction/disjunction of two boolean expressions."""
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        if op not in ("and", "or"):
+            raise JobConfigError(f"unsupported boolean op {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def to_symbolic(self) -> SymExpr:
+        return SBool(self.op, self.left.to_symbolic(),
+                     self.right.to_symbolic())
+
+    def to_source(self, var: str = "value") -> str:
+        return f"({self.left.to_source(var)} {self.op} {self.right.to_source(var)})"
+
+    def columns(self) -> FrozenSet[str]:
+        return self.left.columns() | self.right.columns()
+
+
+class NotExpr(Expr):
+    """Logical negation."""
+
+    def __init__(self, operand: Expr):
+        self.operand = operand
+
+    def to_symbolic(self) -> SymExpr:
+        return SNot(self.operand.to_symbolic())
+
+    def to_source(self, var: str = "value") -> str:
+        return f"(not {self.operand.to_source(var)})"
+
+    def columns(self) -> FrozenSet[str]:
+        return self.operand.columns()
+
+
+class Arith(Expr):
+    """Arithmetic over columns and constants."""
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        if op not in _ARITH_OPS:
+            raise JobConfigError(f"unsupported arithmetic op {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def to_symbolic(self) -> SymExpr:
+        return SArith(self.op, self.left.to_symbolic(),
+                      self.right.to_symbolic())
+
+    def to_source(self, var: str = "value") -> str:
+        return f"({self.left.to_source(var)} {self.op} {self.right.to_source(var)})"
+
+    def columns(self) -> FrozenSet[str]:
+        return self.left.columns() | self.right.columns()
+
+
+def _wrap(value: Any) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    return Lit(value)
+
+
+def _require_expr(value: Any) -> Expr:
+    if not isinstance(value, Expr):
+        raise JobConfigError(
+            f"expected a column expression, got {type(value).__name__}; "
+            "wrap literals with lit(...)"
+        )
+    return value
+
+
+def col(name: str) -> Col:
+    """Reference a value column by name (``col('rank') > 10``)."""
+    return Col(name)
+
+
+def lit(value: Any) -> Lit:
+    """Wrap a literal for use in column expressions."""
+    return Lit(value)
+
+
+def selection_formula(predicates: Sequence[Expr]) -> SelectionFormula:
+    """The DNF :class:`SelectionFormula` of a conjunction of predicates.
+
+    This is the exact hint handed to ``submit_with_hints``: the optimizer's
+    interval extractor and the index synthesizer consume it the same way
+    they consume analyzer-derived formulas.
+    """
+    if not predicates:
+        raise JobConfigError("selection_formula needs at least one predicate")
+    combined: SymExpr = predicates[0].to_symbolic()
+    for predicate in predicates[1:]:
+        combined = SBool("and", combined, predicate.to_symbolic())
+    return SelectionFormula([Conjunct(terms) for terms in term_dnf(combined)])

@@ -1,0 +1,912 @@
+"""Logical plans and their lowering to optimizable MapReduce stages.
+
+A :class:`~repro.api.dataset.Dataset` is a thin handle over a tree of
+logical nodes defined here.  :func:`lower_plan` compiles that tree into a
+chain of :class:`~repro.mapreduce.job.JobConf` stages:
+
+* consecutive ``filter``/``select``/``map`` operations fuse into the map
+  phase of the stage that consumes them (no extra jobs for pipelined ops);
+* ``group_by().agg()`` closes a map+reduce stage;
+* ``join`` closes a two-input stage with per-input tagged mappers (the
+  Hadoop MultipleInputs shape the analyzer already understands);
+* intermediate results are materialized as record files with full schema
+  metadata, so downstream stages -- and Manimal's link detection in
+  :class:`~repro.core.pipeline.ManimalPipeline` -- see transparent data.
+
+Because the builder knows its own predicates and projected columns, every
+stage also carries an exact :class:`~repro.core.analyzer.descriptors.JobAnalysis`
+*hint* (paper Appendix A: layered tools "sidestep the analyzer and accept
+optimization descriptions directly").  Manimal plans from the hints without
+running static analysis; the hints use the same descriptor classes, so
+catalog matching, index synthesis and planning are unchanged.
+
+The synthesized mappers are still ordinary Python functions whose source is
+registered in :mod:`linecache`, which keeps them *inspectable*: if a stage
+is submitted without hints, ``inspect.getsource`` works and the static
+analyzer re-derives the same selection/projection from the generated code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import linecache
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.api.expressions import Expr, selection_formula
+from repro.core.analyzer.descriptors import (
+    DeltaCompressionDescriptor,
+    InputAnalysis,
+    JobAnalysis,
+    ProjectionDescriptor,
+    SelectionDescriptor,
+)
+from repro.core.analyzer.purity import KnowledgeBase
+from repro.exceptions import JobConfigError
+from repro.mapreduce.api import (
+    Context,
+    FunctionMapper,
+    FunctionReducer,
+    Reducer,
+)
+from repro.mapreduce.formats import RecordFileInput
+from repro.mapreduce.job import JobConf
+from repro.storage.serialization import (
+    Field,
+    FieldType,
+    Schema,
+    primitive_schema,
+)
+
+#: Supported aggregate operations.
+AGG_OPS = ("count", "sum", "min", "max", "avg")
+
+#: Name prefix of the synthesized projection helper (a bound
+#: ``Schema.make``) spliced into generated mapper code.
+PROJECT_HELPER_PREFIX = "_fluent_project"
+
+
+class FluentKnowledgeBase(KnowledgeBase):
+    """The default KB plus the synthesized projection helpers.
+
+    ``Schema.make`` is deterministic record construction -- pure by the
+    paper's definition -- but the analyzer's knowledge base cannot know
+    that for an arbitrary global.  Lowered stage code only ever binds the
+    ``_fluent_project*`` names to bound ``Schema.make`` methods, so a
+    session analyzing its own synthesized mappers may treat them as pure;
+    plain ``Manimal`` instances keep the stock KB.
+    """
+
+    def is_pure_function(self, name: str) -> bool:
+        if name.startswith(PROJECT_HELPER_PREFIX):
+            return True
+        return super().is_pure_function(name)
+
+
+#: Knowledge base for sessions (used when analyzing synthesized stages).
+FLUENT_KB = FluentKnowledgeBase()
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One aggregate: an operation over a column (column None for count)."""
+
+    op: str
+    column: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in AGG_OPS:
+            raise JobConfigError(f"unknown aggregate op {self.op!r}")
+        if self.op != "count" and self.column is None:
+            raise JobConfigError(f"aggregate {self.op!r} needs a column")
+
+    def describe(self) -> str:
+        return f"{self.op}({self.column or '*'})"
+
+    def result_type(self, source: Optional[FieldType]) -> Optional[FieldType]:
+        if self.op == "count":
+            return FieldType.LONG
+        if source is None:
+            return None
+        if self.op == "avg":
+            return FieldType.DOUBLE
+        if self.op == "sum":
+            return (
+                FieldType.LONG if source.is_numeric else FieldType.DOUBLE
+            )
+        return source  # min / max preserve the column type
+
+
+def count() -> AggSpec:
+    """Count the records of each group."""
+    return AggSpec("count")
+
+
+def sum_of(column: str) -> AggSpec:
+    """Sum a numeric column per group."""
+    return AggSpec("sum", column)
+
+
+def min_of(column: str) -> AggSpec:
+    return AggSpec("min", column)
+
+
+def max_of(column: str) -> AggSpec:
+    return AggSpec("max", column)
+
+
+def avg_of(column: str) -> AggSpec:
+    """Arithmetic mean of a numeric column per group."""
+    return AggSpec("avg", column)
+
+
+# ---------------------------------------------------------------------------
+# Logical nodes
+# ---------------------------------------------------------------------------
+
+
+class LogicalNode:
+    """Base class of the Dataset expression tree."""
+
+
+@dataclass(eq=False)
+class ScanNode(LogicalNode):
+    """Read a record file (leaf)."""
+
+    path: str
+    key_schema: Optional[Schema]
+    value_schema: Optional[Schema]
+
+
+@dataclass(eq=False)
+class FilterNode(LogicalNode):
+    child: LogicalNode
+    #: a column :class:`Expr` (optimizable) or a callable ``f(record)->bool``
+    predicate: Any
+
+
+@dataclass(eq=False)
+class SelectNode(LogicalNode):
+    child: LogicalNode
+    columns: Tuple[str, ...]
+
+
+@dataclass(eq=False)
+class MapNode(LogicalNode):
+    """Arbitrary record transform ``fn(key, value) -> (key, value)``."""
+
+    child: LogicalNode
+    fn: Callable[[Any, Any], Tuple[Any, Any]]
+    key_schema: Optional[Schema] = None
+    value_schema: Optional[Schema] = None
+
+
+@dataclass(eq=False)
+class AggregateNode(LogicalNode):
+    child: LogicalNode
+    group_column: str
+    aggs: Tuple[Tuple[str, AggSpec], ...]  # (output name, spec)
+
+
+@dataclass(eq=False)
+class JoinNode(LogicalNode):
+    left: LogicalNode
+    right: LogicalNode
+    on: str
+
+
+# ---------------------------------------------------------------------------
+# Synthesized-function compilation (linecache-backed, analyzer-inspectable)
+# ---------------------------------------------------------------------------
+
+def compile_stage_function(name: str, source: str,
+                           env: Dict[str, Any]) -> Callable:
+    """Compile synthesized source into a function whose source is readable.
+
+    Registering the source under a synthetic filename in ``linecache``
+    makes ``inspect.getsource`` work on the result, so the Manimal analyzer
+    can lower a synthesized mapper exactly like a hand-written one.
+    """
+    digest = hashlib.sha1(source.encode("utf-8")).hexdigest()[:16]
+    filename = f"<repro.api.stage:{digest}>"
+    code = compile(source, filename, "exec")
+    namespace = dict(env)
+    exec(code, namespace)
+    # Keyed by source hash so repeated lowerings of the same query reuse
+    # one entry instead of growing linecache without bound.
+    if filename not in linecache.cache:
+        linecache.cache[filename] = (
+            len(source), None, source.splitlines(keepends=True), filename
+        )
+    return namespace[name]
+
+
+# ---------------------------------------------------------------------------
+# Op-segment analysis: fused filter/select/map runs
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Segment:
+    """The fused pipelined ops between two stage boundaries, analyzed."""
+
+    ops: List[LogicalNode]
+    in_key_schema: Optional[Schema]
+    in_value_schema: Optional[Schema]
+    #: column predicates pushed down to the scan (necessary emit conditions)
+    pushdown: List[Expr] = field(default_factory=list)
+    #: base-record columns the segment reads (None = unknown -> all)
+    used: Optional[Set[str]] = None
+    #: base-record columns still visible at segment end (None after map())
+    visible: Optional[List[str]] = None
+    seen_map: bool = False
+    out_key_schema: Optional[Schema] = None
+    out_value_schema: Optional[Schema] = None
+    descriptions: List[str] = field(default_factory=list)
+
+
+def _analyze_segment(ops: Sequence[LogicalNode],
+                     key_schema: Optional[Schema],
+                     value_schema: Optional[Schema]) -> _Segment:
+    seg = _Segment(list(ops), key_schema, value_schema)
+    schema_known = value_schema is not None and value_schema.transparent
+    seg.visible = value_schema.field_names() if schema_known else None
+    seg.used = set() if schema_known else None
+    seg.out_key_schema = key_schema
+    seg.out_value_schema = value_schema
+
+    def mark_all_visible_used() -> None:
+        if seg.used is not None and seg.visible is not None:
+            seg.used |= set(seg.visible)
+
+    for op in ops:
+        if isinstance(op, FilterNode):
+            if isinstance(op.predicate, Expr):
+                if not seg.seen_map:
+                    # Column predicates before any opaque transform are
+                    # necessary conditions over the scanned record: exact
+                    # selection hints.  A callable filter in between only
+                    # narrows further, which keeps them necessary.
+                    seg.pushdown.append(op.predicate)
+                if seg.used is not None:
+                    seg.used |= op.predicate.columns()
+                seg.descriptions.append(f"filter {op.predicate!r}")
+            else:
+                mark_all_visible_used()
+                seg.descriptions.append(
+                    f"filter <python:{getattr(op.predicate, '__name__', '?')}>"
+                )
+        elif isinstance(op, SelectNode):
+            if seg.visible is not None:
+                seg.visible = [c for c in seg.visible if c in op.columns]
+            if seg.out_value_schema is not None:
+                seg.out_value_schema = seg.out_value_schema.project(
+                    list(op.columns)
+                )
+            seg.descriptions.append(f"select [{', '.join(op.columns)}]")
+        elif isinstance(op, MapNode):
+            mark_all_visible_used()
+            seg.seen_map = True
+            seg.visible = None
+            seg.out_key_schema = op.key_schema
+            seg.out_value_schema = op.value_schema
+            seg.descriptions.append(
+                f"map <python:{getattr(op.fn, '__name__', '?')}>"
+            )
+        else:  # pragma: no cover - lowering feeds only pipelined ops here
+            raise JobConfigError(f"cannot fuse {type(op).__name__}")
+    return seg
+
+
+def _codegen_segment(seg: _Segment, fn_name: str,
+                     tail: Callable[[str, str], List[str]]
+                     ) -> Tuple[str, Dict[str, Any]]:
+    """Generate mapper source applying the segment's ops, then ``tail``.
+
+    ``tail(key_var, value_var)`` renders the emit line(s).  Fresh variable
+    names are introduced for every rebinding -- the analyzer resolves
+    parameter names positionally, so the generated code never reassigns
+    ``key``/``value`` themselves.
+    """
+    env: Dict[str, Any] = {}
+    lines = [f"def {fn_name}(key, value, ctx):"]
+    indent = "    "
+    key_var, value_var = "key", "value"
+    fresh = itertools.count()
+
+    for op in seg.ops:
+        if isinstance(op, FilterNode):
+            if isinstance(op.predicate, Expr):
+                cond = op.predicate.to_source(value_var)
+            else:
+                pname = f"_p{next(fresh)}"
+                env[pname] = op.predicate
+                cond = f"{pname}({value_var})"
+            lines.append(f"{indent}if {cond}:")
+            indent += "    "
+        elif isinstance(op, SelectNode):
+            base = _schema_before(seg, op)
+            if base is None or not base.transparent:
+                raise JobConfigError(
+                    "select() needs schema metadata; supply value_schema to "
+                    "the preceding map()"
+                )
+            # Project by building the narrowed record directly.  The
+            # helper name is knowledge-base-pure for sessions (FLUENT_KB),
+            # so the emitted value stays functional and the analyzer can
+            # re-derive the selection from the generated source.
+            projected = base.project(list(op.columns))
+            sname = f"{PROJECT_HELPER_PREFIX}{next(fresh)}"
+            env[sname] = projected.make
+            args = ", ".join(f"{value_var}.{c}"
+                             for c in projected.field_names())
+            new_value = f"v{next(fresh)}"
+            lines.append(f"{indent}{new_value} = {sname}({args})")
+            value_var = new_value
+        elif isinstance(op, MapNode):
+            mname = f"_m{next(fresh)}"
+            env[mname] = op.fn
+            pair = f"r{next(fresh)}"
+            new_key = f"k{next(fresh)}"
+            new_value = f"v{next(fresh)}"
+            lines.append(
+                f"{indent}{pair} = {mname}({key_var}, {value_var})"
+            )
+            lines.append(f"{indent}{new_key} = {pair}[0]")
+            lines.append(f"{indent}{new_value} = {pair}[1]")
+            key_var, value_var = new_key, new_value
+
+    for tail_line in tail(key_var, value_var):
+        lines.append(indent + tail_line)
+    return "\n".join(lines) + "\n", env
+
+
+def _schema_before(seg: _Segment, op: LogicalNode) -> Optional[Schema]:
+    """The value schema in effect just before ``op`` within the segment.
+
+    Node identity (``is``) is deliberate: logical nodes hold column
+    expressions whose ``==`` builds new expressions rather than comparing.
+    """
+    schema = seg.in_value_schema
+    for prior in seg.ops:
+        if prior is op:
+            break
+        if isinstance(prior, SelectNode) and schema is not None:
+            schema = schema.project(list(prior.columns))
+        elif isinstance(prior, MapNode):
+            schema = prior.value_schema
+    return schema
+
+
+# ---------------------------------------------------------------------------
+# Hints
+# ---------------------------------------------------------------------------
+
+
+def _input_hints(seg: _Segment, input_index: int, input_tag: Optional[str],
+                 mapper_name: str,
+                 emitted_columns: Optional[Set[str]]) -> InputAnalysis:
+    """Exact optimization descriptors for one (input, synthesized mapper).
+
+    ``emitted_columns`` are the base-record columns the stage tail reads
+    (group/agg/join columns, or None meaning "everything still visible").
+    """
+    ia = InputAnalysis(
+        input_index=input_index,
+        input_tag=input_tag,
+        mapper_name=mapper_name,
+        key_schema=seg.in_key_schema,
+        value_schema=seg.in_value_schema,
+    )
+    schema = seg.in_value_schema
+    if seg.pushdown:
+        ia.selection = SelectionDescriptor(
+            formula=selection_formula(seg.pushdown)
+        )
+    if schema is not None and schema.transparent and seg.used is not None:
+        used = set(seg.used)
+        if emitted_columns is not None:
+            used |= emitted_columns
+        elif seg.visible is not None:
+            used |= set(seg.visible)
+        used &= set(schema.field_names())
+        unused = [c for c in schema.field_names() if c not in used]
+        if unused:
+            ia.projection = ProjectionDescriptor(
+                used_value_fields=[
+                    c for c in schema.field_names() if c in used
+                ],
+                unused_value_fields=unused,
+                used_key_fields=(
+                    seg.in_key_schema.field_names()
+                    if seg.in_key_schema is not None else []
+                ),
+                unused_key_fields=[],
+            )
+        numeric = schema.numeric_field_names()
+        if numeric:
+            ia.delta = DeltaCompressionDescriptor(fields=numeric)
+    return ia
+
+
+# ---------------------------------------------------------------------------
+# Stage plans
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StagePlan:
+    """One lowered MapReduce stage plus its hints and output metadata."""
+
+    conf: JobConf
+    hints: JobAnalysis
+    kind: str  # "map" / "aggregate" / "join"
+    descriptions: List[str]
+    out_key_schema: Optional[Schema]
+    out_value_schema: Optional[Schema]
+
+    def describe(self) -> str:
+        inputs = ", ".join(s.describe() for s in self.conf.inputs)
+        ops = "; ".join(self.descriptions) or "(pass through)"
+        return f"[{self.kind}] {self.conf.name} <- {inputs}\n    ops: {ops}"
+
+
+@dataclass
+class LoweredPlan:
+    """The full stage chain a Dataset lowers to."""
+
+    name: str
+    stages: List[StagePlan]
+
+    @property
+    def final(self) -> StagePlan:
+        return self.stages[-1]
+
+    def confs(self) -> List[JobConf]:
+        return [s.conf for s in self.stages]
+
+    def hints(self) -> List[JobAnalysis]:
+        return [s.hints for s in self.stages]
+
+    def describe(self) -> str:
+        lines = [f"lowered plan {self.name!r} ({len(self.stages)} stage(s)):"]
+        for i, stage in enumerate(self.stages):
+            lines.append(f"  stage {i}: {stage.describe()}")
+        return "\n".join(lines)
+
+
+@dataclass
+class _Chain:
+    """Lowering state: a scan point plus not-yet-materialized ops."""
+
+    input_path: Optional[str]
+    key_schema: Optional[Schema]
+    value_schema: Optional[Schema]
+    ops: List[LogicalNode] = field(default_factory=list)
+    stages: List[StagePlan] = field(default_factory=list)
+
+
+class _Lowering:
+    """One lowering pass over a logical tree."""
+
+    def __init__(self, name: str, scratch: Callable[[str], str],
+                 num_reducers: int = 5):
+        self.name = name
+        self.scratch = scratch
+        self.num_reducers = num_reducers
+        self._stage_seq = itertools.count()
+
+    # -- tree walk -----------------------------------------------------------
+
+    def lower(self, node: LogicalNode) -> LoweredPlan:
+        chain = self._compile(node)
+        if chain.ops or not chain.stages:
+            stage = self._close_map_stage(chain)
+            chain.stages.append(stage)
+        else:
+            # The terminal stage's output is consumed by nobody; drop the
+            # scratch materialization (collect()/write() handle delivery).
+            last = chain.stages[-1].conf
+            last.output_path = None
+            last.output_key_schema = None
+            last.output_value_schema = None
+        return LoweredPlan(name=self.name, stages=chain.stages)
+
+    def _compile(self, node: LogicalNode) -> _Chain:
+        if isinstance(node, ScanNode):
+            return _Chain(node.path, node.key_schema, node.value_schema)
+        if isinstance(node, (FilterNode, SelectNode, MapNode)):
+            chain = self._compile(node.child)
+            chain.ops.append(node)
+            return chain
+        if isinstance(node, AggregateNode):
+            chain = self._compile(node.child)
+            stage = self._close_agg_stage(chain, node)
+            return _Chain(
+                input_path=stage.conf.output_path,
+                key_schema=stage.out_key_schema,
+                value_schema=stage.out_value_schema,
+                stages=chain.stages + [stage],
+            )
+        if isinstance(node, JoinNode):
+            left = self._compile(node.left)
+            right = self._compile(node.right)
+            stage = self._close_join_stage(left, right, node)
+            return _Chain(
+                input_path=stage.conf.output_path,
+                key_schema=stage.out_key_schema,
+                value_schema=stage.out_value_schema,
+                stages=left.stages + right.stages + [stage],
+            )
+        raise JobConfigError(f"cannot lower node {type(node).__name__}")
+
+    # -- stage closers --------------------------------------------------------
+
+    def _stage_name(self, kind: str) -> str:
+        return f"{self.name}:s{next(self._stage_seq)}:{kind}"
+
+    def _materialize(self, conf: JobConf, stage_name: str,
+                     key_schema: Optional[Schema],
+                     value_schema: Optional[Schema]) -> None:
+        """Give a stage a scratch output file when its schemas are known.
+
+        Unknown schemas leave ``output_path`` unset -- fine for a terminal
+        stage (collect() delivers in memory); :meth:`_input_of` raises if a
+        later stage then tries to consume the stage's output.
+        """
+        if key_schema is None or value_schema is None:
+            return
+        conf.output_path = self.scratch(stage_name.replace(":", "-"))
+        conf.output_key_schema = key_schema
+        conf.output_value_schema = value_schema
+
+    @staticmethod
+    def _input_of(chain: _Chain) -> str:
+        if chain.input_path is None:
+            producer = chain.stages[-1].conf.name if chain.stages else "?"
+            raise JobConfigError(
+                f"stage {producer!r} feeds a later stage but its output "
+                "schemas are unknown; pass key_schema/value_schema to the "
+                "preceding map()"
+            )
+        return chain.input_path
+
+    def _close_map_stage(self, chain: _Chain) -> StagePlan:
+        stage_name = self._stage_name("map")
+        seg = _analyze_segment(chain.ops, chain.key_schema,
+                               chain.value_schema)
+        fn_name = "_fluent_map"
+        source, env = _codegen_segment(
+            seg, fn_name, lambda k, v: [f"ctx.emit({k}, {v})"]
+        )
+        mapper = FunctionMapper(
+            compile_stage_function(fn_name, source, env)
+        )
+        conf = JobConf(
+            name=stage_name,
+            mapper=mapper,
+            reducer=None,
+            inputs=[RecordFileInput(self._input_of(chain))],
+            num_reducers=self.num_reducers,
+        )
+        hints = JobAnalysis(
+            job_name=stage_name,
+            inputs=[_input_hints(seg, 0, None, fn_name, None)],
+        )
+        return StagePlan(
+            conf=conf,
+            hints=hints,
+            kind="map",
+            descriptions=seg.descriptions or ["scan"],
+            out_key_schema=seg.out_key_schema,
+            out_value_schema=seg.out_value_schema,
+        )
+
+    def _close_agg_stage(self, chain: _Chain,
+                         node: AggregateNode) -> StagePlan:
+        stage_name = self._stage_name("aggregate")
+        seg = _analyze_segment(chain.ops, chain.key_schema,
+                               chain.value_schema)
+        record_schema = seg.out_value_schema
+        self._validate_agg_columns(node, record_schema, stage_name)
+
+        names = [name for name, _ in node.aggs]
+        specs = [spec for _, spec in node.aggs]
+
+        def tail(key_var: str, value_var: str) -> List[str]:
+            inputs = [
+                "1" if spec.op == "count" else f"{value_var}.{spec.column}"
+                for spec in specs
+            ]
+            if len(inputs) == 1:
+                emitted = inputs[0]
+            else:
+                emitted = "(" + ", ".join(inputs) + ")"
+            return [f"ctx.emit({value_var}.{node.group_column}, {emitted})"]
+
+        fn_name = "_fluent_agg_map"
+        source, env = _codegen_segment(seg, fn_name, tail)
+        mapper = FunctionMapper(
+            compile_stage_function(fn_name, source, env)
+        )
+
+        out_key_schema = self._group_key_schema(node, record_schema)
+        out_value_schema, reducer = self._agg_reducer(
+            node, names, specs, record_schema, stage_name
+        )
+
+        emitted_cols = {node.group_column} | {
+            spec.column for spec in specs if spec.column is not None
+        }
+        conf = JobConf(
+            name=stage_name,
+            mapper=mapper,
+            reducer=reducer,
+            inputs=[RecordFileInput(self._input_of(chain))],
+            num_reducers=self.num_reducers,
+        )
+        self._materialize(conf, stage_name, out_key_schema, out_value_schema)
+        hints = JobAnalysis(
+            job_name=stage_name,
+            inputs=[
+                _input_hints(
+                    seg, 0, None, fn_name,
+                    emitted_cols if not seg.seen_map else None,
+                )
+            ],
+        )
+        agg_desc = ", ".join(
+            f"{name}={spec.describe()}" for name, spec in node.aggs
+        )
+        return StagePlan(
+            conf=conf,
+            hints=hints,
+            kind="aggregate",
+            descriptions=seg.descriptions
+            + [f"group_by {node.group_column} agg {agg_desc}"],
+            out_key_schema=out_key_schema,
+            out_value_schema=out_value_schema,
+        )
+
+    def _validate_agg_columns(self, node: AggregateNode,
+                              schema: Optional[Schema],
+                              stage_name: str) -> None:
+        if schema is None or not schema.transparent:
+            return
+        missing = [
+            c for c in [node.group_column]
+            + [s.column for _, s in node.aggs if s.column is not None]
+            if not schema.has_field(c)
+        ]
+        if missing:
+            raise JobConfigError(
+                f"stage {stage_name!r}: unknown group/aggregate column(s) "
+                f"{missing} for schema {schema.name!r}"
+            )
+
+    def _group_key_schema(self, node: AggregateNode,
+                          schema: Optional[Schema]) -> Optional[Schema]:
+        if schema is None or not schema.has_field(node.group_column):
+            return None
+        ftype = schema.field(node.group_column).ftype
+        return primitive_schema(f"{_camel(node.group_column)}Key", ftype)
+
+    def _agg_reducer(self, node: AggregateNode, names: List[str],
+                     specs: List[AggSpec], schema: Optional[Schema],
+                     stage_name: str
+                     ) -> Tuple[Optional[Schema], Reducer]:
+        fn_name = "_fluent_agg_reduce"
+        env: Dict[str, Any] = {}
+        if len(specs) == 1:
+            spec = specs[0]
+            body = {
+                "count": "    ctx.emit(key, len(list(values)))",
+                "sum": "    ctx.emit(key, sum(values))",
+                "min": "    ctx.emit(key, min(values))",
+                "max": "    ctx.emit(key, max(values))",
+                "avg": "    vs = list(values)\n"
+                       "    ctx.emit(key, sum(vs) / len(vs))",
+            }[spec.op]
+            source = f"def {fn_name}(key, values, ctx):\n{body}\n"
+            ftype = spec.result_type(self._column_type(schema, spec.column))
+            # The output column carries the user's keyword name, exactly
+            # like the multi-aggregate branch.
+            out_schema = (
+                Schema(f"{_camel(names[0])}Value",
+                       [Field(names[0], ftype)])
+                if ftype is not None else None
+            )
+        else:
+            exprs = []
+            for i, spec in enumerate(specs):
+                if spec.op == "count":
+                    exprs.append("len(vs)")
+                elif spec.op == "sum":
+                    exprs.append(f"sum(v[{i}] for v in vs)")
+                elif spec.op == "min":
+                    exprs.append(f"min(v[{i}] for v in vs)")
+                elif spec.op == "max":
+                    exprs.append(f"max(v[{i}] for v in vs)")
+                else:  # avg
+                    exprs.append(f"(sum(v[{i}] for v in vs) / len(vs))")
+            ftypes = [
+                spec.result_type(self._column_type(schema, spec.column))
+                for spec in specs
+            ]
+            if all(t is not None for t in ftypes):
+                out_schema = Schema(
+                    f"Agg_{_camel(node.group_column)}",
+                    [Field(n, t) for n, t in zip(names, ftypes)],
+                )
+            else:
+                out_schema = None
+            env["_agg_schema"] = out_schema
+            make = ", ".join(exprs)
+            source = (
+                f"def {fn_name}(key, values, ctx):\n"
+                f"    vs = list(values)\n"
+                f"    ctx.emit(key, _agg_schema.make({make}))\n"
+            )
+            if out_schema is None:
+                raise JobConfigError(
+                    f"stage {stage_name!r}: multi-aggregate output schema "
+                    "is unknown; supply value_schema to the preceding map()"
+                )
+        reducer = FunctionReducer(
+            compile_stage_function(fn_name, source, env)
+        )
+        return out_schema, reducer
+
+    @staticmethod
+    def _column_type(schema: Optional[Schema],
+                     column: Optional[str]) -> Optional[FieldType]:
+        if schema is None or column is None or not schema.has_field(column):
+            return None
+        return schema.field(column).ftype
+
+    def _close_join_stage(self, left: _Chain, right: _Chain,
+                          node: JoinNode) -> StagePlan:
+        stage_name = self._stage_name("join")
+        lseg = _analyze_segment(left.ops, left.key_schema, left.value_schema)
+        rseg = _analyze_segment(right.ops, right.key_schema,
+                                right.value_schema)
+        lschema, rschema = lseg.out_value_schema, rseg.out_value_schema
+        if lschema is None or rschema is None:
+            raise JobConfigError(
+                f"stage {stage_name!r}: join needs schema metadata on both "
+                "sides; supply value_schema to any preceding map()"
+            )
+        for side, schema in (("left", lschema), ("right", rschema)):
+            if not schema.has_field(node.on):
+                raise JobConfigError(
+                    f"stage {stage_name!r}: {side} side has no join column "
+                    f"{node.on!r}"
+                )
+
+        merged_schema, left_fields, right_fields = _merge_schemas(
+            lschema, rschema, node.on
+        )
+
+        def side_tail(tag: str) -> Callable[[str, str], List[str]]:
+            def tail(key_var: str, value_var: str) -> List[str]:
+                return [
+                    f"ctx.emit({value_var}.{node.on}, ({tag!r}, {value_var}))"
+                ]
+            return tail
+
+        lfn, rfn = "_fluent_join_left", "_fluent_join_right"
+        lsource, lenv = _codegen_segment(lseg, lfn, side_tail("L"))
+        rsource, renv = _codegen_segment(rseg, rfn, side_tail("R"))
+        left_mapper = FunctionMapper(
+            compile_stage_function(lfn, lsource, lenv)
+        )
+        right_mapper = FunctionMapper(
+            compile_stage_function(rfn, rsource, renv)
+        )
+
+        on_type = lschema.field(node.on).ftype
+        out_key_schema = primitive_schema(f"{_camel(node.on)}Key", on_type)
+        reducer = _JoinReducer(merged_schema, left_fields, right_fields)
+
+        conf = JobConf(
+            name=stage_name,
+            mapper=left_mapper,
+            reducer=reducer,
+            inputs=[
+                RecordFileInput(self._input_of(left), tag="left"),
+                RecordFileInput(self._input_of(right), tag="right"),
+            ],
+            per_input_mappers={"left": left_mapper, "right": right_mapper},
+            num_reducers=self.num_reducers,
+        )
+        self._materialize(conf, stage_name, out_key_schema, merged_schema)
+        lcols = set(lseg.visible or lschema.field_names()) | {node.on}
+        rcols = set(rseg.visible or rschema.field_names()) | {node.on}
+        hints = JobAnalysis(
+            job_name=stage_name,
+            inputs=[
+                _input_hints(lseg, 0, "left", lfn,
+                             lcols if not lseg.seen_map else None),
+                _input_hints(rseg, 1, "right", rfn,
+                             rcols if not rseg.seen_map else None),
+            ],
+        )
+        return StagePlan(
+            conf=conf,
+            hints=hints,
+            kind="join",
+            descriptions=(
+                [f"left: {d}" for d in lseg.descriptions]
+                + [f"right: {d}" for d in rseg.descriptions]
+                + [f"inner join on {node.on}"]
+            ),
+            out_key_schema=out_key_schema,
+            out_value_schema=merged_schema,
+        )
+
+
+class _JoinReducer(Reducer):
+    """Inner-join reducer: pair the tagged sides of each key group."""
+
+    def __init__(self, merged_schema: Schema, left_fields: Sequence[str],
+                 right_fields: Sequence[str]):
+        self.merged_schema = merged_schema
+        self.left_fields = list(left_fields)
+        self.right_fields = list(right_fields)
+
+    def reduce(self, key: Any, values, ctx: Context) -> None:
+        lefts: List[Any] = []
+        rights: List[Any] = []
+        for side, record in values:
+            (lefts if side == "L" else rights).append(record)
+        for lrec in lefts:
+            for rrec in rights:
+                merged = [getattr(lrec, f) for f in self.left_fields]
+                merged += [getattr(rrec, f) for f in self.right_fields]
+                ctx.emit(key, self.merged_schema.make(*merged))
+
+
+def _merge_schemas(left: Schema, right: Schema,
+                   on: str) -> Tuple[Schema, List[str], List[str]]:
+    """Join output schema: left fields, then right fields minus the key.
+
+    Right-side names colliding with an already-taken name get an ``_r``
+    suffix; the returned field lists are *source* names per side, aligned
+    with the merged schema's field order.
+    """
+    fields: List[Field] = list(left.fields)
+    taken = {f.name for f in fields}
+    left_names = [f.name for f in left.fields]
+    right_names: List[str] = []
+    for f in right.fields:
+        if f.name == on:
+            continue
+        name = f.name
+        while name in taken:
+            name = f"{name}_r"
+        taken.add(name)
+        fields.append(Field(name, f.ftype))
+        right_names.append(f.name)
+    merged = Schema(f"{left.name}_join_{right.name}", fields)
+    return merged, left_names, right_names
+
+
+def _camel(name: str) -> str:
+    return "".join(part.capitalize() for part in name.split("_")) or "Key"
+
+
+def lower_plan(node: LogicalNode, name: str,
+               scratch: Callable[[str], str],
+               num_reducers: int = 5) -> LoweredPlan:
+    """Compile a logical tree into its stage chain."""
+    return _Lowering(name, scratch, num_reducers=num_reducers).lower(node)

@@ -1,0 +1,192 @@
+"""The :class:`Session` front door: fluent queries over one Manimal instance.
+
+A Session owns the pieces a fluent query needs -- a
+:class:`~repro.core.manimal.Manimal` system (catalog + analyzer +
+optimizer + runner), a scratch directory for intermediate stage files, and
+a query counter for stable stage names.  Datasets created from it lower to
+:class:`~repro.core.pipeline.ManimalPipeline` chains whose per-stage hints
+flow through ``Manimal.submit_with_hints`` (paper Appendix A), so fluent
+queries reach B+Tree selection, projection and delta compression without
+static analysis ever running.  The raw ``JobConf`` path stays fully
+supported -- ``session.system`` is an ordinary ``Manimal``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import shutil
+import tempfile
+from typing import Any, List, Optional, Sequence
+
+from repro.api.dataset import Dataset, DatasetResult
+from repro.api.plan import FLUENT_KB, LoweredPlan, ScanNode, lower_plan
+from repro.core.analyzer.analyzer import peek_schemas
+from repro.core.analyzer.descriptors import JobAnalysis
+from repro.core.manimal import Manimal
+from repro.core.optimizer.catalog import IndexEntry
+from repro.core.pipeline import ManimalPipeline
+from repro.exceptions import JobConfigError
+from repro.mapreduce.formats import RecordFileInput
+from repro.mapreduce.runtime import LocalJobRunner, _coerce
+from repro.storage.recordfile import RecordFileWriter
+
+
+class Session:
+    """Fluent query sessions over an optimizing MapReduce system."""
+
+    def __init__(
+        self,
+        catalog_dir: Optional[str] = None,
+        workdir: Optional[str] = None,
+        runner: Optional[LocalJobRunner] = None,
+        safe_mode: bool = False,
+        space_budget_bytes: Optional[int] = None,
+        cost_based: bool = False,
+        num_reducers: int = 5,
+        **manimal_kwargs: Any,
+    ):
+        if workdir is None:
+            workdir = tempfile.mkdtemp(prefix="manimal-session-")
+            self._owns_workdir = True
+        else:
+            os.makedirs(workdir, exist_ok=True)
+            self._owns_workdir = False
+        self.workdir = workdir
+        # FLUENT_KB = stock knowledge base + the synthesized projection
+        # helpers, so the analyzer fallback works on generated stage code.
+        manimal_kwargs.setdefault("kb", FLUENT_KB)
+        self.system = Manimal(
+            catalog_dir or os.path.join(workdir, "catalog"),
+            runner=runner,
+            safe_mode=safe_mode,
+            space_budget_bytes=space_budget_bytes,
+            cost_based=cost_based,
+            **manimal_kwargs,
+        )
+        self.num_reducers = num_reducers
+        self._scratch_dir = os.path.join(workdir, "scratch")
+        os.makedirs(self._scratch_dir, exist_ok=True)
+        self._query_seq = itertools.count()
+        self._scratch_seq = itertools.count()
+
+    # -- dataset creation ------------------------------------------------------
+
+    def read(self, path: str) -> Dataset:
+        """A Dataset scanning one record file (schemas read from its header)."""
+        if not os.path.exists(path):
+            raise JobConfigError(f"record file {path!r} does not exist")
+        key_schema, value_schema = peek_schemas(RecordFileInput(path))
+        return Dataset(self, ScanNode(path, key_schema, value_schema))
+
+    #: Alias matching the storage-layer terminology.
+    read_record_file = read
+
+    # -- lowering / execution ---------------------------------------------------
+
+    def _scratch(self, stem: str) -> str:
+        return os.path.join(
+            self._scratch_dir, f"{stem}-{next(self._scratch_seq)}.rf"
+        )
+
+    def lower(self, dataset: Dataset, name: Optional[str] = None
+              ) -> LoweredPlan:
+        """Compile a Dataset to its JobConf stage chain."""
+        if name is None:
+            name = f"fluent-q{next(self._query_seq)}"
+        return lower_plan(dataset._node, name, self._scratch,
+                          num_reducers=self.num_reducers)
+
+    def _pipeline_for(self, plan: LoweredPlan) -> ManimalPipeline:
+        return ManimalPipeline(
+            self.system, plan.confs(), stage_hints=plan.hints()
+        )
+
+    def pipeline(self, dataset: Dataset) -> ManimalPipeline:
+        """The hinted ManimalPipeline a Dataset executes as."""
+        return self._pipeline_for(self.lower(dataset))
+
+    def run(self, dataset: Dataset, build_indexes: bool = False,
+            allowed_kinds: Optional[Sequence[str]] = None) -> DatasetResult:
+        """Execute a Dataset: lower, wire stages, submit with hints."""
+        plan = self.lower(dataset)
+        outcomes = self._pipeline_for(plan).submit(
+            build_indexes=build_indexes, allowed_kinds=allowed_kinds
+        )
+        return DatasetResult(plan=plan, stages=outcomes)
+
+    def write(self, dataset: Dataset, path: str,
+              build_indexes: bool = False) -> DatasetResult:
+        """Run a Dataset and write its rows, key-sorted, to ``path``."""
+        key_schema, value_schema = dataset._final_schemas()
+        if key_schema is None or value_schema is None:
+            raise JobConfigError(
+                "cannot write: output schemas are unknown; pass "
+                "key_schema/value_schema to the final map()"
+            )
+        result = self.run(dataset, build_indexes=build_indexes)
+        with RecordFileWriter(path, key_schema, value_schema) as writer:
+            for key, value in result.result.sorted_outputs():
+                writer.append(
+                    _coerce(key, key_schema), _coerce(value, value_schema)
+                )
+        return result
+
+    # -- admin / introspection ---------------------------------------------------
+
+    def build_indexes(self, dataset: Dataset,
+                      allowed_kinds: Optional[Sequence[str]] = None
+                      ) -> List[IndexEntry]:
+        """Build indexes for a Dataset's *base* inputs (admin action).
+
+        Intermediate stage outputs are the paper's ephemeral read-once
+        files; only inputs originating outside the plan are indexed, using
+        the exact hints the lowering produced.
+        """
+        plan = self.lower(dataset)
+        produced = {
+            os.path.abspath(stage.conf.output_path)
+            for stage in plan.stages
+            if stage.conf.output_path is not None
+        }
+        built: List[IndexEntry] = []
+        for stage in plan.stages:
+            for source, ia in zip(stage.conf.inputs, stage.hints.inputs):
+                if type(source) is not RecordFileInput:
+                    continue
+                if os.path.abspath(source.path) in produced:
+                    continue
+                single = stage.conf.with_inputs([source])
+                sub = JobAnalysis(job_name=stage.conf.name, inputs=[ia])
+                built.extend(
+                    self.system.build_indexes(
+                        single, sub, allowed_kinds=allowed_kinds
+                    )
+                )
+        return built
+
+    def explain(self, dataset: Dataset) -> str:
+        """The lowered stage chain, per-stage hints, and planned execution."""
+        plan = self.lower(dataset, name="explain")
+        lines = [plan.describe(), ""]
+        for i, stage in enumerate(plan.stages):
+            lines.append(f"stage {i} hints (Appendix A descriptors):")
+            for ia in stage.hints.inputs:
+                lines.append(f"  {ia.summary()}")
+            descriptor = self.system.plan(stage.conf, stage.hints)
+            lines.append(descriptor.describe())
+            lines.append("")
+        return "\n".join(lines).rstrip() + "\n"
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Remove the session workdir if this session created it."""
+        if self._owns_workdir:
+            shutil.rmtree(self.workdir, ignore_errors=True)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

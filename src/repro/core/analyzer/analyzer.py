@@ -375,8 +375,16 @@ class ManimalAnalyzer:
             conf.reducer() if isinstance(conf.reducer, type) else conf.reducer
         )
         try:
-            fn_ast = _source_ast(type(reducer).reduce)
-            lowered = lower_function(fn_ast, is_method=True)
+            # Adapters (FunctionReducer) expose the real body to inspect;
+            # analyzing the adapter's forwarding `reduce` would wrongly
+            # conclude the key never leaks.
+            source_fn = getattr(reducer, "reduce_source_function", None)
+            if source_fn is not None:
+                fn_ast = _source_ast(source_fn)
+                lowered = lower_function(fn_ast, is_method=False)
+            else:
+                fn_ast = _source_ast(type(reducer).reduce)
+                lowered = lower_function(fn_ast, is_method=True)
         except (OSError, TypeError, UnsupportedConstructError):
             return True
         rd = ReachingDefinitions(lowered.cfg)

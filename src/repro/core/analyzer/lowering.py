@@ -365,10 +365,20 @@ class _Lowerer:
             self._lower_for(node, lineno)
             return
         if isinstance(node, ast.Return):
-            expr = None
-            if node.value is not None:
-                expr = self._atom(self.lower_expr(node.value), lineno)
-            self._add_stmt(ir.Return(expr), lineno)
+            if node.value is not None and not (
+                isinstance(node.value, ast.Constant)
+                and node.value.value is None
+            ):
+                # The runtime collects (key, value) pairs returned from
+                # map()/reduce() bodies, so a value-bearing return is an
+                # emission channel the emit-centric model cannot see;
+                # treating it as inert would let selection/reduce-side
+                # analyses reach unsound conclusions.
+                raise UnsupportedConstructError(
+                    "value-returning return (returned pairs are collected "
+                    "as emissions at runtime)"
+                )
+            self._add_stmt(ir.Return(None), lineno)
             self.current.terminator = ExitTerm()
             self._terminated = True
             return

@@ -96,12 +96,21 @@ def find_reduce_key_filter(
                     "not per-key decidable"
                 ]
 
+    source_fn = getattr(reducer, "reduce_source_function", None)
     try:
-        source = textwrap.dedent(inspect.getsource(cls.reduce))
+        # FunctionReducer-style adapters expose the wrapped function; its
+        # body (not the adapter's forwarding `reduce`) carries the WHERE.
+        target = source_fn if source_fn is not None else cls.reduce
+        source = textwrap.dedent(inspect.getsource(target))
         tree = ast.parse(source)
         fn = tree.body[0]
-        lowered = lower_function(fn, is_method=True)
-    except (OSError, TypeError) as exc:
+        if not isinstance(fn, ast.FunctionDef):
+            # A lambda's "source" is its enclosing statement, not a
+            # function definition.
+            return None, ["reducer not analyzable: source is not a plain "
+                          "function definition"]
+        lowered = lower_function(fn, is_method=source_fn is None)
+    except (OSError, TypeError, SyntaxError) as exc:
         return None, [f"reducer source unavailable: {exc}"]
     except UnsupportedConstructError as exc:
         return None, [f"reducer not analyzable: {exc}"]

@@ -10,12 +10,20 @@ This module implements both halves for jobs submitted through this API:
 
 * **link detection** -- stage *j* is linked to stage *i* when one of
   *j*'s input paths equals *i*'s ``output_path`` (the filesystem is the
-  join point, exactly as on a Hadoop cluster);
+  join point, exactly as on a Hadoop cluster); a stage consuming a path
+  that only a *later* stage produces is rejected as cyclic;
 * **cross-stage optimization** -- every stage is analyzed and optimized
   independently (Manimal as usual), and additionally, intermediate files
   that feed a *linked* downstream stage are produced with the schemas the
   downstream stage needs, so downstream analysis sees transparent
   metadata rather than opaque bytes.
+
+Stages may carry **hints**: a per-stage
+:class:`~repro.core.analyzer.descriptors.JobAnalysis` supplied by a
+layered tool (paper Appendix A), such as the fluent
+:class:`repro.api.Session`/``Dataset`` front door.  A hinted stage skips
+static analysis entirely; an unhinted stage is analyzed exactly once and
+the analysis reused for index building and planning.
 
 Indexing intermediate files is usually wasted work -- they are the
 paper's "ephemeral read-once data files" -- so by default index builds
@@ -28,8 +36,9 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Sequence, Set
 
+from repro.core.analyzer.descriptors import JobAnalysis
 from repro.core.manimal import Manimal, ManimalResult
 from repro.exceptions import JobConfigError
 from repro.mapreduce.formats import RecordFileInput
@@ -50,35 +59,60 @@ class ManimalPipeline:
     """A chain of MapReduce jobs optimized stage by stage."""
 
     def __init__(self, system: Manimal, stages: List[JobConf],
-                 index_intermediates: bool = False):
+                 index_intermediates: bool = False,
+                 stage_hints: Optional[Sequence[Optional[JobAnalysis]]] = None):
         if not stages:
             raise JobConfigError("pipeline needs at least one stage")
         self.system = system
         self.stages = list(stages)
         self.index_intermediates = index_intermediates
+        if stage_hints is None:
+            self.stage_hints: List[Optional[JobAnalysis]] = [None] * len(
+                self.stages
+            )
+        else:
+            if len(stage_hints) != len(self.stages):
+                raise JobConfigError(
+                    f"stage_hints has {len(stage_hints)} entries for "
+                    f"{len(self.stages)} stages"
+                )
+            self.stage_hints = list(stage_hints)
         self._links = self._detect_links()
 
     # -- link detection -----------------------------------------------------
 
     def _detect_links(self) -> Dict[int, List[int]]:
-        """stage index -> indexes of upstream stages feeding it."""
-        producer_of: Dict[str, int] = {}
+        """stage index -> indexes of upstream stages feeding it.
+
+        Producers are collected up front so forward references are visible:
+        a stage whose input is produced only by a later stage (or by
+        itself) cannot be ordered and is rejected.
+        """
+        producers: Dict[str, List[int]] = {}
+        for i, conf in enumerate(self.stages):
+            if conf.output_path is not None:
+                producers.setdefault(
+                    os.path.abspath(conf.output_path), []
+                ).append(i)
         links: Dict[int, List[int]] = {i: [] for i in range(len(self.stages))}
         for i, conf in enumerate(self.stages):
-            for j, source in enumerate(conf.inputs):
+            for source in conf.inputs:
                 path = getattr(source, "path", None)
                 if path is None:
                     continue
-                producer = producer_of.get(os.path.abspath(path))
-                if producer is not None:
-                    if producer >= i:
-                        raise JobConfigError(
-                            f"stage {i} consumes output of a later stage "
-                            f"{producer}; pipelines must be acyclic"
-                        )
-                    links[i].append(producer)
-            if conf.output_path is not None:
-                producer_of[os.path.abspath(conf.output_path)] = i
+                stage_ids = producers.get(os.path.abspath(path))
+                if not stage_ids:
+                    continue
+                earlier = [j for j in stage_ids if j < i]
+                if earlier:
+                    # Several earlier producers of the same path: the last
+                    # write before this stage is the one it observes.
+                    links[i].append(max(earlier))
+                else:
+                    raise JobConfigError(
+                        f"stage {i} consumes output of a later stage "
+                        f"{min(stage_ids)}; pipelines must be acyclic"
+                    )
         return links
 
     def links(self) -> Dict[int, List[int]]:
@@ -102,18 +136,27 @@ class ManimalPipeline:
 
     # -- execution ------------------------------------------------------------
 
-    def submit(self, build_indexes: bool = False) -> List[StageOutcome]:
+    def submit(self, build_indexes: bool = False,
+               allowed_kinds: Optional[Sequence[str]] = None
+               ) -> List[StageOutcome]:
         """Run all stages in order, optimizing each through Manimal.
 
         ``build_indexes`` applies to stage inputs that come from *outside*
         the pipeline; intermediate files are indexed only when the
         pipeline was constructed with ``index_intermediates=True``.
+        ``allowed_kinds`` restricts the index kinds considered, as in
+        :meth:`Manimal.build_indexes`.
         """
         intermediates = self.intermediate_paths()
         outcomes: List[StageOutcome] = []
         for i, conf in enumerate(self.stages):
-            if build_indexes:
+            # One analysis per stage: hints when the submitter supplied
+            # them (Appendix A), a single analyzer pass otherwise --
+            # reused for both index building and plan/execute below.
+            analysis = self.stage_hints[i]
+            if analysis is None:
                 analysis = self.system.analyze(conf)
+            if build_indexes:
                 for source, ia in zip(conf.inputs, analysis.inputs):
                     path = getattr(source, "path", None)
                     if path is None or type(source) is not RecordFileInput:
@@ -122,14 +165,13 @@ class ManimalPipeline:
                     if is_intermediate and not self.index_intermediates:
                         continue
                     single = conf.with_inputs([source])
-                    # Reuse the already computed analysis for this input.
-                    from repro.core.analyzer.descriptors import JobAnalysis
-
                     sub = JobAnalysis(job_name=conf.name, inputs=[ia])
-                    self.system.build_indexes(single, sub)
-                outcome = self.system.submit(conf, build_indexes=False)
-            else:
-                outcome = self.system.submit(conf, build_indexes=False)
+                    self.system.build_indexes(
+                        single, sub, allowed_kinds=allowed_kinds
+                    )
+            outcome = self.system.submit(
+                conf, build_indexes=False, analysis=analysis
+            )
             outcomes.append(
                 StageOutcome(conf=conf, outcome=outcome,
                              upstream=list(self._links[i]))
@@ -141,5 +183,6 @@ class ManimalPipeline:
         for i, conf in enumerate(self.stages):
             ups = self._links[i]
             link = f" <- stages {ups}" if ups else ""
-            lines.append(f"  stage {i}: {conf.name}{link}")
+            hinted = " [hinted]" if self.stage_hints[i] is not None else ""
+            lines.append(f"  stage {i}: {conf.name}{link}{hinted}")
         return "\n".join(lines)

@@ -115,3 +115,20 @@ def explain_job(
         descriptor = system.plan(conf, analysis)
         lines.append(descriptor.describe())
     return "\n".join(lines)
+
+
+def explain_dataset(dataset) -> str:
+    """Render a fluent :class:`~repro.api.Dataset`'s whole lowered plan.
+
+    Unlike :func:`explain_job` -- one job, analyzer evidence trail -- this
+    shows the *stage chain* a Dataset compiles to, the exact Appendix A
+    hints each stage carries, and the execution plan the optimizer would
+    choose for each stage against the session's current catalog.
+    """
+    from repro.api.dataset import Dataset
+
+    if not isinstance(dataset, Dataset):
+        raise TypeError(
+            f"explain_dataset expects a Dataset, got {type(dataset).__name__}"
+        )
+    return dataset.explain()

@@ -13,6 +13,7 @@ Public API:
 from repro.mapreduce.api import (
     Context,
     FunctionMapper,
+    FunctionReducer,
     IdentityMapper,
     IdentityReducer,
     Mapper,
@@ -44,6 +45,7 @@ __all__ = [
     "DeltaFileInput",
     "DictionaryFileInput",
     "FunctionMapper",
+    "FunctionReducer",
     "IdentityMapper",
     "IdentityReducer",
     "InMemoryInput",

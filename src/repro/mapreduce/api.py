@@ -47,6 +47,11 @@ class Mapper:
 
     Subclasses override :meth:`map`.  ``setup``/``cleanup`` bracket each
     map *task* (one per input split), matching Hadoop semantics.
+
+    ``map`` may emit through ``ctx.emit`` or be written generator-style,
+    ``yield``-ing ``(key, value)`` pairs -- the runtime collects whatever
+    iterable ``map`` returns.  Generator bodies are outside the analyzable
+    subset, so the analyzer safely reports no optimizations for them.
     """
 
     def setup(self, ctx: Context) -> None:
@@ -64,7 +69,8 @@ class Reducer:
     """Base class for reduce functions.
 
     ``reduce`` receives one key and the full iterable of its values (the
-    runtime has already sorted and grouped the shuffle output).
+    runtime has already sorted and grouped the shuffle output).  Like
+    ``map``, it may either call ``ctx.emit`` or ``yield`` pairs.
     """
 
     def setup(self, ctx: Context) -> None:
@@ -109,16 +115,39 @@ class FunctionMapper(Mapper):
     """Adapter turning a plain function ``f(key, value, ctx)`` into a Mapper.
 
     Useful in tests and examples.  Note that the analyzer inspects the
-    *wrapped function's* source, so analysis works for these too.
+    *wrapped function's* source, so analysis works for these too.  The
+    wrapped function may be generator-style (yielding pairs): its return
+    value is forwarded for the runtime to collect.
     """
 
     def __init__(self, fn: Callable[[Any, Any, Context], None]):
         self._fn = fn
 
-    def map(self, key: Any, value: Any, ctx: Context) -> None:
-        self._fn(key, value, ctx)
+    def map(self, key: Any, value: Any, ctx: Context) -> Any:
+        return self._fn(key, value, ctx)
 
     @property
     def map_source_function(self) -> Callable:
         """The function whose body the analyzer should inspect."""
+        return self._fn
+
+
+class FunctionReducer(Reducer):
+    """Adapter turning a plain function ``f(key, values, ctx)`` into a Reducer.
+
+    Mirrors :class:`FunctionMapper`: ``reduce_source_function`` exposes the
+    wrapped function so reduce-side analyses (Appendix E group filters,
+    key-leak checks) inspect the real body instead of this adapter's.
+    Generator-style functions work the same way as for mappers.
+    """
+
+    def __init__(self, fn: Callable[[Any, Iterable[Any], Context], None]):
+        self._fn = fn
+
+    def reduce(self, key: Any, values: Iterable[Any], ctx: Context) -> Any:
+        return self._fn(key, values, ctx)
+
+    @property
+    def reduce_source_function(self) -> Callable:
+        """The function whose body reduce-side analyses should inspect."""
         return self._fn

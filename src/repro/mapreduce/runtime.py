@@ -29,6 +29,41 @@ from repro.storage.recordfile import RecordFileWriter
 from repro.storage.serialization import Record, Schema
 
 
+def _collect_yielded(ctx: Context, result: Any, where: str) -> None:
+    """Fold a generator-style user function's yielded pairs into the context.
+
+    ``map``/``reduce`` may return an iterable of ``(key, value)`` pairs
+    instead of calling ``ctx.emit``; both styles may be mixed freely (the
+    yielded pairs land after any explicit emits of the same invocation).
+    """
+    if result is None:
+        return
+    try:
+        pairs = iter(result)
+    except TypeError:
+        raise JobExecutionError(
+            f"{where} returned non-iterable {type(result).__name__}; "
+            "return None or an iterable of (key, value) pairs"
+        ) from None
+    for pair in pairs:
+        # A 2-char string unpacks "successfully" into two 1-char strings,
+        # so a `return (key, value)` mistake (one pair instead of an
+        # iterable of pairs) could silently corrupt output.  Fail loudly.
+        if isinstance(pair, (str, bytes)):
+            raise JobExecutionError(
+                f"{where} yielded the string {pair!r}; expected a "
+                "(key, value) pair -- return an iterable of pairs, not a "
+                "single pair"
+            )
+        try:
+            key, value = pair
+        except (TypeError, ValueError):
+            raise JobExecutionError(
+                f"{where} yielded {pair!r}; expected a (key, value) pair"
+            ) from None
+        ctx.emit(key, value)
+
+
 class LocalJobRunner:
     """Runs jobs in-process with full metric accounting."""
 
@@ -87,7 +122,9 @@ class LocalJobRunner:
         try:
             mapper.setup(ctx)
             for key, value in reader:
-                mapper.map(key, value, ctx)
+                _collect_yielded(
+                    ctx, mapper.map(key, value, ctx), "map()"
+                )
             mapper.cleanup(ctx)
         except Exception as exc:
             raise JobExecutionError(
@@ -141,7 +178,11 @@ class LocalJobRunner:
             combiner.setup(ctx)
             for _skey, group in groupby(ordered, key=lambda kv: sort_key(kv[0])):
                 group = list(group)
-                combiner.reduce(group[0][0], [v for _, v in group], ctx)
+                _collect_yielded(
+                    ctx,
+                    combiner.reduce(group[0][0], [v for _, v in group], ctx),
+                    "combine()",
+                )
             combiner.cleanup(ctx)
         except Exception as exc:
             raise JobExecutionError(
@@ -185,7 +226,11 @@ class LocalJobRunner:
                     group = list(group)
                     metrics.reduce_groups += 1
                     metrics.reduce_input_records += len(group)
-                    reducer.reduce(group[0][0], [v for _, v in group], ctx)
+                    _collect_yielded(
+                        ctx,
+                        reducer.reduce(group[0][0], [v for _, v in group], ctx),
+                        "reduce()",
+                    )
                 reducer.cleanup(ctx)
             except Exception as exc:
                 raise JobExecutionError(

@@ -28,6 +28,7 @@ def _load(name):
     "log_analysis",
     "columnar_analytics",
     "join_pipeline",
+    "fluent_api",
 ])
 def test_example_runs(name, capsys):
     module = _load(name)

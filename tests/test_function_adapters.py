@@ -1,0 +1,275 @@
+"""FunctionReducer adapter and generator-style map/reduce bodies."""
+
+import pytest
+
+from repro.core.analyzer.analyzer import ManimalAnalyzer
+from repro.core.analyzer.reduce_ext import find_reduce_key_filter
+from repro.exceptions import JobExecutionError
+from repro.mapreduce import (
+    FunctionMapper,
+    FunctionReducer,
+    JobConf,
+    Mapper,
+    RecordFileInput,
+    Reducer,
+    run_job,
+)
+from tests.conftest import write_webpages
+
+
+def emit_style_map(key, value, ctx):
+    if value.rank > 45:
+        ctx.emit(value.rank, 1)
+
+
+def generator_style_map(key, value, ctx):
+    if value.rank > 45:
+        yield value.rank, 1
+
+
+def emit_style_reduce(key, values, ctx):
+    ctx.emit(key, sum(values))
+
+
+def generator_style_reduce(key, values, ctx):
+    yield key, sum(values)
+
+
+def key_filtering_reduce(key, values, ctx):
+    if key > 47:
+        ctx.emit(key, sum(values))
+
+
+def key_leaking_reduce(key, values, ctx):
+    ctx.emit(key, len(list(values)))
+
+
+def key_hiding_reduce(key, values, ctx):
+    for v in values:
+        ctx.emit("group", v)
+
+
+class YieldingMapper(Mapper):
+    def map(self, key, value, ctx):
+        if value.rank > 45:
+            yield value.rank, value.url
+
+
+class BadPairMapper(Mapper):
+    def map(self, key, value, ctx):
+        yield value.rank  # not a pair
+
+
+class NonIterableMapper(Mapper):
+    def map(self, key, value, ctx):
+        return 42
+
+
+def _conf(path, mapper, reducer, name="adapters"):
+    return JobConf(name=name, mapper=mapper, reducer=reducer,
+                   inputs=[RecordFileInput(path)])
+
+
+class TestGeneratorBodies:
+    def test_generator_map_and_reduce_match_emit_style(self, tmp_path):
+        path = write_webpages(tmp_path / "w.rf", 200)
+        baseline = run_job(
+            _conf(path, FunctionMapper(emit_style_map),
+                  FunctionReducer(emit_style_reduce))
+        )
+        generated = run_job(
+            _conf(path, FunctionMapper(generator_style_map),
+                  FunctionReducer(generator_style_reduce))
+        )
+        assert sorted(generated.outputs) == sorted(baseline.outputs)
+        assert sorted(baseline.outputs)  # non-trivial
+
+    def test_generator_mapper_subclass(self, tmp_path):
+        path = write_webpages(tmp_path / "w.rf", 100)
+        result = run_job(_conf(path, YieldingMapper, None))
+        assert result.outputs
+        assert all(rank > 45 for rank, _url in result.outputs)
+
+    def test_generator_combiner(self, tmp_path):
+        path = write_webpages(tmp_path / "w.rf", 100)
+        conf = JobConf(
+            name="combine", mapper=FunctionMapper(generator_style_map),
+            reducer=FunctionReducer(generator_style_reduce),
+            combiner=FunctionReducer(generator_style_reduce),
+            inputs=[RecordFileInput(path)],
+        )
+        baseline = run_job(
+            _conf(path, FunctionMapper(emit_style_map),
+                  FunctionReducer(emit_style_reduce))
+        )
+        assert sorted(run_job(conf).outputs) == sorted(baseline.outputs)
+
+    def test_yielding_non_pair_rejected(self, tmp_path):
+        path = write_webpages(tmp_path / "w.rf", 20)
+        with pytest.raises(JobExecutionError, match="pair"):
+            run_job(_conf(path, BadPairMapper, None))
+
+    def test_non_iterable_return_rejected(self, tmp_path):
+        path = write_webpages(tmp_path / "w.rf", 20)
+        with pytest.raises(JobExecutionError, match="non-iterable"):
+            run_job(_conf(path, NonIterableMapper, None))
+
+    def test_analyzer_falls_back_safely_on_generators(self, tmp_path):
+        path = write_webpages(tmp_path / "w.rf", 20)
+        analysis = ManimalAnalyzer().analyze_job(
+            _conf(path, FunctionMapper(generator_style_map),
+                  FunctionReducer(generator_style_reduce))
+        )
+        ia = analysis.inputs[0]
+        # Yield is outside the modeled subset: no descriptors, never a
+        # wrong "mapper never emits" unsatisfiable formula.
+        assert ia.selection is None
+        assert any("not analyzable" in n for n in ia.notes["SELECT"])
+        assert analysis.reduce_key_filter is None
+
+
+class TestFunctionReducer:
+    def test_wraps_and_exposes_source_function(self, tmp_path):
+        reducer = FunctionReducer(emit_style_reduce)
+        assert reducer.reduce_source_function is emit_style_reduce
+        path = write_webpages(tmp_path / "w.rf", 100)
+        result = run_job(_conf(path, FunctionMapper(emit_style_map), reducer))
+        assert result.outputs
+
+    def test_reduce_key_filter_found_through_adapter(self):
+        group_filter, notes = find_reduce_key_filter(
+            FunctionReducer(key_filtering_reduce)
+        )
+        assert group_filter is not None
+        assert group_filter(48) and not group_filter(40)
+
+    def test_reduce_key_filter_absent_when_unconditional(self):
+        group_filter, notes = find_reduce_key_filter(
+            FunctionReducer(emit_style_reduce)
+        )
+        assert group_filter is None
+
+    def test_lambda_reducer_degrades_instead_of_crashing(self, tmp_path):
+        """Regression: a lambda's 'source' is its enclosing statement, not
+        a function definition; analysis must degrade, not raise."""
+        reducer = FunctionReducer(lambda k, vs, ctx: ctx.emit(k, sum(vs)))
+        group_filter, notes = find_reduce_key_filter(reducer)
+        assert group_filter is None
+        assert any("not analyzable" in n or "unavailable" in n
+                   for n in notes)
+        path = write_webpages(tmp_path / "w.rf", 50)
+        from repro.core.manimal import Manimal
+
+        system = Manimal(str(tmp_path / "cat"))
+        outcome = system.submit(
+            _conf(path, FunctionMapper(emit_style_map), reducer)
+        )
+        assert outcome.result.outputs
+
+    def test_shuffle_filter_applied_end_to_end(self, tmp_path):
+        path = write_webpages(tmp_path / "w.rf", 200)
+        from repro.core.manimal import Manimal
+
+        system = Manimal(str(tmp_path / "cat"))
+        conf = _conf(path, FunctionMapper(emit_style_map),
+                     FunctionReducer(key_filtering_reduce))
+        outcome = system.submit(conf)
+        assert outcome.descriptor.shuffle_filter is not None
+        assert outcome.result.metrics.shuffle_records_skipped > 0
+        assert all(k > 47 for k, _ in outcome.result.outputs)
+
+    def test_key_leak_detected_through_adapter(self, tmp_path):
+        path = write_webpages(tmp_path / "w.rf", 20)
+        analyzer = ManimalAnalyzer()
+        leaking = _conf(path, FunctionMapper(emit_style_map),
+                        FunctionReducer(key_leaking_reduce))
+        hiding = _conf(path, FunctionMapper(emit_style_map),
+                       FunctionReducer(key_hiding_reduce))
+        assert analyzer.reduce_leaks_key(leaking) is True
+        assert analyzer.reduce_leaks_key(hiding) is False
+
+    def test_generator_reduce_conservatively_leaks(self, tmp_path):
+        path = write_webpages(tmp_path / "w.rf", 20)
+        analyzer = ManimalAnalyzer()
+        conf = _conf(path, FunctionMapper(emit_style_map),
+                     FunctionReducer(generator_style_reduce))
+        # Yield-based bodies cannot be lowered -> assume the worst.
+        assert analyzer.reduce_leaks_key(conf) is True
+
+
+def mixed_emit_and_return_reduce(key, values, ctx):
+    if key > 5:
+        ctx.emit(key, 1)
+    return [(key, 2)]
+
+
+def return_pairs_reduce(key, values, ctx):
+    return [(key, sum(values))]
+
+
+def return_pairs_map(key, value, ctx):
+    if value.rank > 45:
+        return [(value.rank, value.url)]
+    return None
+
+
+class TestValuedReturnSafety:
+    """Returned pairs are live output, so they must defeat the
+    emit-centric analyses rather than be silently ignored."""
+
+    def test_runtime_collects_returned_pairs(self, tmp_path):
+        path = write_webpages(tmp_path / "w.rf", 100)
+        result = run_job(_conf(path, FunctionMapper(return_pairs_map), None))
+        assert result.outputs
+        assert all(rank > 45 for rank, _url in result.outputs)
+
+    def test_no_group_filter_when_reduce_returns_pairs(self):
+        # The returned (key, 2) pair flows for *every* key; a filter
+        # derived from the emit's `key > 5` guard would drop live groups.
+        group_filter, notes = find_reduce_key_filter(
+            FunctionReducer(mixed_emit_and_return_reduce)
+        )
+        assert group_filter is None
+        assert any("not analyzable" in n for n in notes)
+
+    def test_returned_key_counts_as_leaking(self, tmp_path):
+        path = write_webpages(tmp_path / "w.rf", 20)
+        analyzer = ManimalAnalyzer()
+        conf = _conf(path, FunctionMapper(emit_style_map),
+                     FunctionReducer(return_pairs_reduce))
+        assert analyzer.reduce_leaks_key(conf) is True
+
+    def test_mapper_with_valued_return_gets_no_descriptors(self, tmp_path):
+        path = write_webpages(tmp_path / "w.rf", 20)
+        analysis = ManimalAnalyzer().analyze_job(
+            _conf(path, FunctionMapper(return_pairs_map), None)
+        )
+        ia = analysis.inputs[0]
+        assert ia.selection is None and ia.projection is None
+        assert any("not analyzable" in n for n in ia.notes["SELECT"])
+
+    def test_string_pair_rejected_not_split(self, tmp_path):
+        """Regression: a returned 2-char string must not silently unpack
+        into two 1-char emissions."""
+        path = write_webpages(tmp_path / "w.rf", 20)
+
+        class StringPairMapper(Mapper):
+            def map(self, key, value, ctx):
+                return ("xy", "zw")  # one pair intended, not two
+
+        with pytest.raises(JobExecutionError, match="iterable of pairs"):
+            run_job(_conf(path, StringPairMapper, None))
+
+    def test_bare_and_none_returns_stay_analyzable(self, tmp_path):
+        path = write_webpages(tmp_path / "w.rf", 20)
+
+        class EarlyExitMapper(Mapper):
+            def map(self, key, value, ctx):
+                if value.rank <= 45:
+                    return
+                ctx.emit(value.rank, 1)
+
+        analysis = ManimalAnalyzer().analyze_job(
+            _conf(path, EarlyExitMapper, None)
+        )
+        assert analysis.inputs[0].selection is not None

@@ -1,0 +1,102 @@
+"""Manimal.submit plumbing: allowed_kinds, analysis reuse, execute hygiene."""
+
+from repro.core.manimal import Manimal
+from repro.core.optimizer import catalog as cat
+from repro.mapreduce import JobConf, Mapper, RecordFileInput, Reducer, run_job
+from tests.conftest import write_webpages
+
+
+class RankFilterMapper(Mapper):
+    def map(self, key, value, ctx):
+        if value.rank > 40:
+            ctx.emit(value.url, value.rank)
+
+
+class CountReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, len(list(values)))
+
+
+def _conf(path, reducer=CountReducer):
+    return JobConf(name="submit-test", mapper=RankFilterMapper,
+                   reducer=reducer, inputs=[RecordFileInput(path)])
+
+
+class TestAllowedKinds:
+    def test_submit_restricts_index_kinds(self, tmp_path):
+        path = write_webpages(tmp_path / "w.rf", 200)
+        system = Manimal(str(tmp_path / "cat"))
+        outcome = system.submit(
+            _conf(path), build_indexes=True,
+            allowed_kinds=[cat.KIND_PROJECTION],
+        )
+        kinds = {e.kind for e in outcome.built_indexes}
+        assert kinds == {cat.KIND_PROJECTION}
+        assert {e.kind for e in system.catalog.sorted_entries()} == \
+            {cat.KIND_PROJECTION}
+        assert outcome.optimized
+        assert outcome.descriptor.plans[0].entry.kind == cat.KIND_PROJECTION
+
+    def test_unrestricted_submit_prefers_selection(self, tmp_path):
+        path = write_webpages(tmp_path / "w.rf", 200)
+        system = Manimal(str(tmp_path / "cat"))
+        outcome = system.submit(_conf(path), build_indexes=True)
+        assert outcome.descriptor.plans[0].entry.kind in (
+            cat.KIND_SELECTION, cat.KIND_SELECTION_PROJECTION
+        )
+
+    def test_index_programs_respect_restriction(self, tmp_path):
+        path = write_webpages(tmp_path / "w.rf", 100)
+        system = Manimal(str(tmp_path / "cat"))
+        programs = system.index_programs(
+            _conf(path), allowed_kinds=[cat.KIND_DELTA]
+        )
+        assert [p.kind for p in programs if p is not None] == [cat.KIND_DELTA]
+
+
+class TestAnalysisReuse:
+    def test_precomputed_analysis_skips_reanalysis(self, tmp_path):
+        path = write_webpages(tmp_path / "w.rf", 100)
+        system = Manimal(str(tmp_path / "cat"))
+        conf = _conf(path)
+        analysis = system.analyze(conf)
+        calls = []
+        original = system.analyzer.analyze_job
+        system.analyzer.analyze_job = lambda c: calls.append(c) or original(c)
+        outcome = system.submit(conf, analysis=analysis)
+        assert calls == []
+        assert outcome.analysis is analysis
+
+
+class TestExecuteShuffleFilterHygiene:
+    def test_stale_shuffle_filter_cleared_by_descriptor(self, tmp_path):
+        """Regression: ``with_inputs`` copies the conf's shuffle filter, so
+        a descriptor without one must reset it, not inherit it."""
+        path = write_webpages(tmp_path / "w.rf", 100)
+        system = Manimal(str(tmp_path / "cat"))
+        conf = _conf(path)
+        expected = sorted(run_job(_conf(path)).outputs)
+        assert expected
+
+        # Simulate a stale filter left on the conf by an earlier pass.
+        conf.shuffle_filter = lambda key: False
+        descriptor = system.plan(conf)
+        assert descriptor.shuffle_filter is None
+        result = system.execute(conf, descriptor)
+        assert sorted(result.outputs) == expected
+
+    def test_descriptor_filter_still_applied(self, tmp_path):
+        path = write_webpages(tmp_path / "w.rf", 100)
+        system = Manimal(str(tmp_path / "cat"))
+
+        class KeyFilteringReducer(Reducer):
+            def reduce(self, key, values, ctx):
+                if key > "http://x/5":
+                    ctx.emit(key, len(list(values)))
+
+        conf = _conf(path, reducer=KeyFilteringReducer)
+        descriptor = system.plan(conf)
+        assert descriptor.shuffle_filter is not None
+        result = system.execute(conf, descriptor)
+        assert result.metrics.shuffle_records_skipped > 0
+        assert all(k > "http://x/5" for k, _ in result.outputs)

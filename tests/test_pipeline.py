@@ -84,6 +84,72 @@ class TestLinkDetection:
         with pytest.raises(JobConfigError):
             ManimalPipeline(system, [])
 
+    def test_multi_input_stage_links_two_upstreams(self, tmp_path):
+        a_in = write_webpages(tmp_path / "a.rf", 20)
+        b_in = write_webpages(tmp_path / "b.rf", 20)
+        mid_a, mid_b = str(tmp_path / "ma.rf"), str(tmp_path / "mb.rf")
+        fanin = JobConf(
+            name="fanin", mapper=SecondStageMapper, reducer=SumReducer,
+            inputs=[RecordFileInput(mid_a), RecordFileInput(mid_b)],
+        )
+        system = Manimal(str(tmp_path / "cat"))
+        pipe = ManimalPipeline(
+            system, [_stage1(a_in, mid_a), _stage1(b_in, mid_b), fanin]
+        )
+        assert pipe.links() == {0: [], 1: [], 2: [0, 1]}
+        assert pipe.intermediate_paths() == {mid_a, mid_b}
+
+    def test_relative_and_absolute_paths_alias(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        path = write_webpages(tmp_path / "w.rf", 20)
+        # Producer names its output relatively; the consumer absolutely.
+        producer = _stage1(path, "mid.rf")
+        consumer = _stage2(str(tmp_path / "mid.rf"))
+        system = Manimal(str(tmp_path / "cat"))
+        pipe = ManimalPipeline(system, [producer, consumer])
+        assert pipe.links() == {0: [], 1: [0]}
+        assert pipe.intermediate_paths() == {str(tmp_path / "mid.rf")}
+
+    def test_forward_reference_rejected_as_cyclic(self, tmp_path):
+        path = write_webpages(tmp_path / "w.rf", 20)
+        later_out = str(tmp_path / "later.rf")
+        early = _stage2(later_out)          # consumes stage 1's output
+        late = _stage1(path, later_out)     # ...which runs after it
+        system = Manimal(str(tmp_path / "cat"))
+        with pytest.raises(
+            JobConfigError,
+            match=r"stage 0 consumes output of a later stage 1; "
+                  r"pipelines must be acyclic",
+        ):
+            ManimalPipeline(system, [early, late])
+
+    def test_self_loop_rejected(self, tmp_path):
+        out = str(tmp_path / "loop.rf")
+        conf = _stage1(out, out)  # reads and writes the same path
+        system = Manimal(str(tmp_path / "cat"))
+        with pytest.raises(JobConfigError, match="acyclic"):
+            ManimalPipeline(system, [conf])
+
+    def test_latest_earlier_producer_wins(self, tmp_path):
+        a_in = write_webpages(tmp_path / "a.rf", 20)
+        b_in = write_webpages(tmp_path / "b.rf", 20)
+        mid = str(tmp_path / "mid.rf")
+        system = Manimal(str(tmp_path / "cat"))
+        pipe = ManimalPipeline(
+            system,
+            [_stage1(a_in, mid), _stage1(b_in, mid), _stage2(mid)],
+        )
+        # Both stages write mid; the consumer observes the last write.
+        assert pipe.links()[2] == [1]
+
+    def test_mismatched_stage_hints_rejected(self, tmp_path):
+        path = write_webpages(tmp_path / "w.rf", 20)
+        system = Manimal(str(tmp_path / "cat"))
+        with pytest.raises(JobConfigError, match="stage_hints"):
+            ManimalPipeline(
+                system, [_stage2(path)], stage_hints=[None, None]
+            )
+
 
 class TestExecution:
     def test_two_stage_results_match_manual_chain(self, tmp_path):
