@@ -59,8 +59,10 @@ from repro.mapreduce import (
     FunctionReducer,
     JobConf,
     JobResult,
+    LocalJobRunner,
     Mapper,
     PAPER_CLUSTER,
+    ParallelJobRunner,
     RecordFileInput,
     Reducer,
     run_job,
@@ -80,11 +82,13 @@ __all__ = [
     "FunctionReducer",
     "JobConf",
     "JobResult",
+    "LocalJobRunner",
     "Manimal",
     "ManimalPipeline",
     "ManimalResult",
     "Mapper",
     "PAPER_CLUSTER",
+    "ParallelJobRunner",
     "Record",
     "RecordFileInput",
     "Reducer",

@@ -196,22 +196,44 @@ class Dataset:
     # -- actions ----------------------------------------------------------------
 
     def run(self, build_indexes: bool = False,
-            allowed_kinds: Optional[Sequence[str]] = None) -> DatasetResult:
-        """Execute the lowered stage chain through Manimal."""
+            allowed_kinds: Optional[Sequence[str]] = None,
+            parallelism: Optional[int] = None) -> DatasetResult:
+        """Execute the lowered stage chain through Manimal.
+
+        :param build_indexes: build synthesized indexes for the query's
+            base inputs first (admin action).
+        :param allowed_kinds: restrict which index kinds may be built.
+        :param parallelism: worker-process count for this run, overriding
+            the session default; results are byte-identical regardless.
+        :returns: a :class:`DatasetResult` with rows, per-stage execution
+            descriptors, and metrics.
+        """
         return self._session.run(self, build_indexes=build_indexes,
-                                 allowed_kinds=allowed_kinds)
+                                 allowed_kinds=allowed_kinds,
+                                 parallelism=parallelism)
 
-    def collect(self, build_indexes: bool = False) -> List[Tuple[Any, Any]]:
-        """Run and return the final (key, value) pairs."""
-        return self.run(build_indexes=build_indexes).rows
+    def collect(self, build_indexes: bool = False,
+                parallelism: Optional[int] = None) -> List[Tuple[Any, Any]]:
+        """Run the query and return the final (key, value) pairs.
 
-    def write(self, path: str, build_indexes: bool = False) -> DatasetResult:
+        ``parallelism`` fans each stage's map/reduce tasks out across
+        that many worker processes (``ds.collect(parallelism=4)``); the
+        returned pairs -- values *and* order -- are identical to a
+        sequential run.
+        """
+        return self.run(build_indexes=build_indexes,
+                        parallelism=parallelism).rows
+
+    def write(self, path: str, build_indexes: bool = False,
+              parallelism: Optional[int] = None) -> DatasetResult:
         """Run and write the result to ``path`` as a record file.
 
         Rows are written in key-sorted order, so the bytes on disk do not
-        depend on which execution plan the optimizer chose.
+        depend on which execution plan the optimizer chose or which
+        runner executed it.
         """
-        return self._session.write(self, path, build_indexes=build_indexes)
+        return self._session.write(self, path, build_indexes=build_indexes,
+                                   parallelism=parallelism)
 
     def build_indexes(self, allowed_kinds: Optional[Sequence[str]] = None):
         """Admin action: build indexes for this query's base inputs."""

@@ -28,22 +28,53 @@ from repro.core.optimizer.catalog import IndexEntry
 from repro.core.pipeline import ManimalPipeline
 from repro.exceptions import JobConfigError
 from repro.mapreduce.formats import RecordFileInput
-from repro.mapreduce.runtime import LocalJobRunner, _coerce
+from repro.mapreduce.runtime import _coerce
 from repro.storage.recordfile import RecordFileWriter
 
 
 class Session:
-    """Fluent query sessions over an optimizing MapReduce system."""
+    """Fluent query sessions over an optimizing MapReduce system.
+
+    A Session is the front door of the fluent API: create one, call
+    :meth:`read` to get a :class:`~repro.api.dataset.Dataset`, chain
+    transformations, and run actions (``collect``/``write``).  Use it as
+    a context manager so the scratch directory is cleaned up::
+
+        with Session(catalog_dir="./catalog", parallelism=4) as session:
+            pages = session.read("webpages.rf")
+            rows = pages.filter(col("rank") > 990).collect()
+
+    Construction parameters:
+
+    :param catalog_dir: where index files and catalog metadata live;
+        defaults to a ``catalog/`` directory inside the workdir.
+    :param workdir: scratch space for intermediate stage files; a
+        temporary directory (removed on :meth:`close`) when omitted.
+    :param runner: execution-fabric knob passed to
+        :class:`~repro.core.manimal.Manimal` -- a runner instance, a
+        worker count, or ``'local'``/``'parallel'``.
+    :param safe_mode: analyzer safe mode (reject, rather than ignore,
+        constructs outside the analyzable subset).
+    :param space_budget_bytes: cap on total index bytes in the catalog.
+    :param cost_based: use the cost-based optimizer instead of the
+        rule-based one.
+    :param num_reducers: reduce partition count for lowered stages.
+    :param parallelism: default worker-process count for every query this
+        session runs; ``None`` or 1 means sequential.  Individual actions
+        may override per call (``ds.collect(parallelism=8)``).  Results
+        are byte-identical either way.
+    """
 
     def __init__(
         self,
         catalog_dir: Optional[str] = None,
         workdir: Optional[str] = None,
-        runner: Optional[LocalJobRunner] = None,
+        runner: Optional[Any] = None,
         safe_mode: bool = False,
         space_budget_bytes: Optional[int] = None,
         cost_based: bool = False,
         num_reducers: int = 5,
+        parallelism: Optional[int] = None,
         **manimal_kwargs: Any,
     ):
         if workdir is None:
@@ -62,6 +93,7 @@ class Session:
             safe_mode=safe_mode,
             space_budget_bytes=space_budget_bytes,
             cost_based=cost_based,
+            parallelism=parallelism,
             **manimal_kwargs,
         )
         self.num_reducers = num_reducers
@@ -107,24 +139,44 @@ class Session:
         return self._pipeline_for(self.lower(dataset))
 
     def run(self, dataset: Dataset, build_indexes: bool = False,
-            allowed_kinds: Optional[Sequence[str]] = None) -> DatasetResult:
-        """Execute a Dataset: lower, wire stages, submit with hints."""
+            allowed_kinds: Optional[Sequence[str]] = None,
+            parallelism: Optional[int] = None) -> DatasetResult:
+        """Execute a Dataset: lower, wire stages, submit with hints.
+
+        :param dataset: the query to execute (lowered freshly, so each run
+            gets private scratch paths).
+        :param build_indexes: build the synthesized indexes for base
+            inputs before planning (admin action, as in the paper).
+        :param allowed_kinds: restrict which index kinds may be built.
+        :param parallelism: per-run worker count overriding the session
+            default; every stage of the lowered chain runs its map/reduce
+            tasks across that many processes.
+        :returns: a :class:`~repro.api.dataset.DatasetResult`.
+        """
         plan = self.lower(dataset)
         outcomes = self._pipeline_for(plan).submit(
-            build_indexes=build_indexes, allowed_kinds=allowed_kinds
+            build_indexes=build_indexes, allowed_kinds=allowed_kinds,
+            runner=parallelism,
         )
         return DatasetResult(plan=plan, stages=outcomes)
 
     def write(self, dataset: Dataset, path: str,
-              build_indexes: bool = False) -> DatasetResult:
-        """Run a Dataset and write its rows, key-sorted, to ``path``."""
+              build_indexes: bool = False,
+              parallelism: Optional[int] = None) -> DatasetResult:
+        """Run a Dataset and write its rows, key-sorted, to ``path``.
+
+        Rows are written in key-sorted order, so the bytes on disk do not
+        depend on the execution plan chosen *or* on the runner
+        (sequential vs parallel) that produced them.
+        """
         key_schema, value_schema = dataset._final_schemas()
         if key_schema is None or value_schema is None:
             raise JobConfigError(
                 "cannot write: output schemas are unknown; pass "
                 "key_schema/value_schema to the final map()"
             )
-        result = self.run(dataset, build_indexes=build_indexes)
+        result = self.run(dataset, build_indexes=build_indexes,
+                          parallelism=parallelism)
         with RecordFileWriter(path, key_schema, value_schema) as writer:
             for key, value in result.result.sorted_outputs():
                 writer.append(

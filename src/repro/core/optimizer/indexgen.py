@@ -125,7 +125,17 @@ class IndexGenerationProgram:
             runner: Optional[LocalJobRunner] = None) -> IndexEntry:
         """Build the index and register it in the catalog."""
         if self.kind in (cat.KIND_SELECTION, cat.KIND_SELECTION_PROJECTION):
-            entry = self._build_selection(catalog, runner or LocalJobRunner())
+            # The selection builder's reducer bulk-loads the B+Tree and
+            # reports stats through in-process instance state, so this
+            # infrastructure job must not fan out to worker processes.
+            # Only a multi-process runner is downgraded; any other
+            # caller-supplied runner (instrumented wrappers etc.) is
+            # honored as before.
+            from repro.mapreduce.parallel import ParallelJobRunner
+
+            if runner is None or isinstance(runner, ParallelJobRunner):
+                runner = LocalJobRunner()
+            entry = self._build_selection(catalog, runner)
         elif self.kind in (cat.KIND_PROJECTION, cat.KIND_PROJECTION_DELTA):
             entry = self._build_projection_family(catalog)
         elif self.kind == cat.KIND_DELTA:

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Any, Dict, List, Optional, Sequence, Set
 
 from repro.core.analyzer.descriptors import JobAnalysis
 from repro.core.manimal import Manimal, ManimalResult
@@ -137,7 +137,8 @@ class ManimalPipeline:
     # -- execution ------------------------------------------------------------
 
     def submit(self, build_indexes: bool = False,
-               allowed_kinds: Optional[Sequence[str]] = None
+               allowed_kinds: Optional[Sequence[str]] = None,
+               runner: Optional[Any] = None
                ) -> List[StageOutcome]:
         """Run all stages in order, optimizing each through Manimal.
 
@@ -145,7 +146,12 @@ class ManimalPipeline:
         the pipeline; intermediate files are indexed only when the
         pipeline was constructed with ``index_intermediates=True``.
         ``allowed_kinds`` restricts the index kinds considered, as in
-        :meth:`Manimal.build_indexes`.
+        :meth:`Manimal.build_indexes`.  ``runner`` is a per-submission
+        execution-fabric override (worker count, ``'local'`` /
+        ``'parallel'``, or a runner instance) applied to every stage;
+        stages still execute in chain order -- parallelism is *within*
+        a stage, across its map/reduce tasks, never across stages that
+        are linked through the filesystem.
         """
         intermediates = self.intermediate_paths()
         outcomes: List[StageOutcome] = []
@@ -170,7 +176,7 @@ class ManimalPipeline:
                         single, sub, allowed_kinds=allowed_kinds
                     )
             outcome = self.system.submit(
-                conf, build_indexes=False, analysis=analysis
+                conf, build_indexes=False, analysis=analysis, runner=runner
             )
             outcomes.append(
                 StageOutcome(conf=conf, outcome=outcome,

@@ -35,6 +35,7 @@ from repro.mapreduce.formats import (
 )
 from repro.mapreduce.job import JobConf, JobResult
 from repro.mapreduce.metrics import JobMetrics
+from repro.mapreduce.parallel import ParallelJobRunner, resolve_runner
 from repro.mapreduce.runtime import DEFAULT_RUNNER, LocalJobRunner, run_job
 
 __all__ = [
@@ -58,11 +59,13 @@ __all__ = [
     "LocalJobRunner",
     "Mapper",
     "PAPER_CLUSTER",
+    "ParallelJobRunner",
     "Partitioner",
     "ProjectedFileInput",
     "RecordFileInput",
     "Reducer",
     "SelectionIndexInput",
     "SimulatedTime",
+    "resolve_runner",
     "run_job",
 ]

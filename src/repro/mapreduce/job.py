@@ -51,6 +51,13 @@ class JobConf:
     #: whether the user requires final output in sorted key order; relevant
     #: to direct-operation compression (paper footnote 1)
     requires_sorted_output: bool = False
+    #: requested worker processes for this job; ``None`` defers to the
+    #: runner the submitter chose, ``1`` forces sequential execution, and
+    #: ``>1`` selects the spill-based
+    #: :class:`~repro.mapreduce.parallel.ParallelJobRunner` wherever the
+    #: job is run (``run_job``, ``Manimal.submit``, pipelines).  Output
+    #: bytes are identical either way.
+    parallelism: Optional[int] = None
     #: free-form parameters exposed to user code (thresholds etc.); these
     #: are the "user's parameters" in Fig. 1, and the analyzer treats them
     #: as constants for a given submission
@@ -61,6 +68,8 @@ class JobConf:
             raise JobConfigError(f"job {self.name!r} has no inputs")
         if self.num_reducers < 1:
             raise JobConfigError("num_reducers must be >= 1")
+        if self.parallelism is not None and self.parallelism < 1:
+            raise JobConfigError("parallelism must be >= 1")
 
     def mapper_for(self, tag: Optional[str]) -> MapperSpec:
         """The mapper spec used for an input with the given tag."""
@@ -105,6 +114,7 @@ class JobConf:
             per_input_mappers=dict(self.per_input_mappers),
             shuffle_filter=self.shuffle_filter,
             requires_sorted_output=self.requires_sorted_output,
+            parallelism=self.parallelism,
             params=dict(self.params),
         )
 

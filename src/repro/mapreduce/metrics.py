@@ -52,6 +52,23 @@ class JobMetrics:
     def to_dict(self) -> Dict[str, float]:
         return dict(self.__dict__)
 
+    def merge(self, other: "JobMetrics") -> None:
+        """Fold another metric set into this one (task -> job rollup).
+
+        Every volume field is additive, mirroring :meth:`Counters.merge`:
+        the runners accumulate per-task metric deltas into the job total,
+        and the parallel runner merges worker-side deltas in deterministic
+        task order so sequential and parallel runs of the same job report
+        identical volumes.  ``wall_seconds`` is the one exception: wall
+        clocks of concurrent tasks do not add up to job wall time, so it
+        is left untouched (runners set it from the submitting process's
+        clock).
+        """
+        for name, value in other.__dict__.items():
+            if name == "wall_seconds":
+                continue
+            setattr(self, name, getattr(self, name) + value)
+
     def scaled(self, factor: float) -> "JobMetrics":
         """Scale every volume metric by ``factor``.
 

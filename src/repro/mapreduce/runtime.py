@@ -8,16 +8,27 @@ each task's output, a hash partitioner routes pairs to reduce partitions,
 each partition is sorted and grouped by key, and reducers emit the final
 output.
 
-Tasks run sequentially in-process (determinism makes the experiments and
-the property tests trustworthy); cluster parallelism is modeled separately
-by :mod:`repro.mapreduce.cost` from the byte/record metrics collected here.
+Task execution is factored into free functions (:func:`execute_map_task`,
+:func:`execute_reduce_partition`) shared by the two runners:
+
+* :class:`LocalJobRunner` (here) runs every task sequentially in-process,
+  which is the reference semantics -- determinism makes the experiments
+  and the property tests trustworthy;
+* :class:`~repro.mapreduce.parallel.ParallelJobRunner` fans tasks out
+  across worker processes through a spill-based shuffle
+  (:mod:`repro.mapreduce.shuffle`) and is byte-identical to this runner
+  by construction (see ``docs/execution-model.md``).
+
+Cluster-scale parallelism is still *modeled* separately by
+:mod:`repro.mapreduce.cost` from the byte/record metrics collected here.
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass, field
 from itertools import groupby
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Iterable, List, Optional, Tuple
 
 from repro.exceptions import JobExecutionError
 from repro.mapreduce.api import Context
@@ -64,8 +75,198 @@ def _collect_yielded(ctx: Context, result: Any, where: str) -> None:
         ctx.emit(key, value)
 
 
+# -- task-level execution (shared by both runners) ---------------------------
+
+
+@dataclass
+class MapTaskResult:
+    """One map task's partitioned output plus its metric/counter deltas."""
+
+    #: post-combine, post-filter pairs routed to each reduce partition
+    partitions: List[List[Tuple[Any, Any]]]
+    metrics: JobMetrics = field(default_factory=JobMetrics)
+    counters: Counters = field(default_factory=Counters)
+
+
+@dataclass
+class ReduceTaskResult:
+    """One reduce partition's output plus its metric/counter deltas."""
+
+    outputs: List[Tuple[Any, Any]]
+    metrics: JobMetrics = field(default_factory=JobMetrics)
+    counters: Counters = field(default_factory=Counters)
+
+
+def execute_map_task(
+    conf: JobConf, tag: Optional[str], split: Any
+) -> MapTaskResult:
+    """Run one map task: map, combine, shuffle-filter, partition.
+
+    Pure with respect to shared job state -- all accounting lands in the
+    returned :class:`MapTaskResult`, so the sequential runner can fold
+    results in task order while the parallel runner executes the same
+    function inside worker processes.
+    """
+    out = MapTaskResult(
+        partitions=[[] for _ in range(conf.num_reducers)]
+    )
+    metrics, counters = out.metrics, out.counters
+
+    mapper = conf.make_mapper(tag)
+    ctx = Context(input_tag=tag)
+    reader = split.source.open(split)
+    try:
+        mapper.setup(ctx)
+        for key, value in reader:
+            _collect_yielded(ctx, mapper.map(key, value, ctx), "map()")
+        mapper.cleanup(ctx)
+    except Exception as exc:
+        raise JobExecutionError(
+            f"map task failed in job {conf.name!r}: {exc}"
+        ) from exc
+
+    metrics.map_input_records += reader.records
+    metrics.map_input_stored_bytes += reader.stored_bytes
+    metrics.map_input_logical_bytes += reader.logical_bytes
+    metrics.fields_deserialized += reader.fields
+    metrics.records_skipped += reader.skipped
+    metrics.map_output_records += len(ctx.emitted)
+    for key, value in ctx.emitted:
+        metrics.map_output_bytes += estimate_size(key) + estimate_size(value)
+    counters.merge(ctx.counters)
+
+    pairs = ctx.emitted
+    if conf.combiner is not None and pairs:
+        pairs = _run_combiner(conf, pairs, counters)
+
+    if conf.shuffle_filter is not None and pairs:
+        # Appendix E: delete map outputs whose group the reducer
+        # provably ignores, before they cost shuffle/sort work.
+        kept = []
+        for key, value in pairs:
+            if conf.shuffle_filter(key):
+                kept.append((key, value))
+            else:
+                metrics.shuffle_records_skipped += 1
+        pairs = kept
+
+    for key, value in pairs:
+        part = conf.partitioner.partition(key, conf.num_reducers)
+        out.partitions[part].append((key, value))
+        metrics.shuffle_records += 1
+        key_bytes = estimate_size(key)
+        metrics.shuffle_key_bytes += key_bytes
+        metrics.shuffle_bytes += key_bytes + estimate_size(value)
+    return out
+
+
+def _run_combiner(
+    conf: JobConf,
+    pairs: List[Tuple[Any, Any]],
+    counters: Counters,
+) -> List[Tuple[Any, Any]]:
+    combiner = conf.make_combiner()
+    assert combiner is not None
+    ctx = Context()
+    ordered = sorted(pairs, key=lambda kv: sort_key(kv[0]))
+    try:
+        combiner.setup(ctx)
+        for _skey, group in groupby(ordered, key=lambda kv: sort_key(kv[0])):
+            group = list(group)
+            _collect_yielded(
+                ctx,
+                combiner.reduce(group[0][0], [v for _, v in group], ctx),
+                "combine()",
+            )
+        combiner.cleanup(ctx)
+    except Exception as exc:
+        raise JobExecutionError(
+            f"combiner failed in job {conf.name!r}: {exc}"
+        ) from exc
+    counters.merge(ctx.counters)
+    return ctx.emitted
+
+
+def execute_reduce_partition(
+    conf: JobConf,
+    pairs: Iterable[Tuple[Any, Any]],
+    presorted: bool = False,
+) -> ReduceTaskResult:
+    """Run the reduce side of one partition.
+
+    ``pairs`` is the partition's shuffle stream.  With ``presorted=False``
+    (sequential runner) it is stable-sorted by :func:`sort_key` here; with
+    ``presorted=True`` (parallel runner) the caller already merged sorted
+    spill runs and the stream is consumed as-is.  Map-only jobs pass
+    records through untouched, preserving arrival order.
+    """
+    out = ReduceTaskResult(outputs=[])
+    metrics = out.metrics
+
+    reducer = conf.make_reducer()
+    if reducer is None:
+        # Map-only job: shuffle output is the job output.
+        out.outputs = list(pairs)
+        metrics.reduce_output_records += len(out.outputs)
+        for key, value in out.outputs:
+            metrics.reduce_output_bytes += (
+                estimate_size(key) + estimate_size(value)
+            )
+        return out
+
+    ctx = Context()
+    if presorted:
+        ordered: Iterable[Tuple[Any, Any]] = pairs
+    else:
+        ordered = sorted(pairs, key=lambda kv: sort_key(kv[0]))
+    try:
+        reducer.setup(ctx)
+        for _skey, group in groupby(ordered, key=lambda kv: sort_key(kv[0])):
+            group = list(group)
+            metrics.reduce_groups += 1
+            metrics.reduce_input_records += len(group)
+            _collect_yielded(
+                ctx,
+                reducer.reduce(group[0][0], [v for _, v in group], ctx),
+                "reduce()",
+            )
+        reducer.cleanup(ctx)
+    except Exception as exc:
+        raise JobExecutionError(
+            f"reduce task failed in job {conf.name!r}: {exc}"
+        ) from exc
+    out.counters.merge(ctx.counters)
+    out.outputs = ctx.emitted
+    metrics.reduce_output_records += len(ctx.emitted)
+    for key, value in ctx.emitted:
+        metrics.reduce_output_bytes += (
+            estimate_size(key) + estimate_size(value)
+        )
+    return out
+
+
+def write_job_output(conf: JobConf, outputs: List[Tuple[Any, Any]]) -> None:
+    """Write final pairs to ``conf.output_path`` as a record file."""
+    key_schema = conf.output_key_schema
+    value_schema = conf.output_value_schema
+    if key_schema is None or value_schema is None:
+        raise JobExecutionError(
+            f"job {conf.name!r} sets output_path but not output schemas"
+        )
+    with RecordFileWriter(conf.output_path, key_schema, value_schema) as w:
+        for key, value in outputs:
+            w.append(_coerce(key, key_schema), _coerce(value, value_schema))
+
+
 class LocalJobRunner:
-    """Runs jobs in-process with full metric accounting."""
+    """Runs jobs sequentially in-process with full metric accounting.
+
+    This is the reference execution fabric: one task at a time, one
+    process, fully deterministic.  Swap in
+    :class:`~repro.mapreduce.parallel.ParallelJobRunner` (or set
+    ``JobConf.parallelism``) for multi-core execution with identical
+    output bytes.
+    """
 
     def __init__(self, splits_per_input: int = 10):
         #: target number of splits (map tasks) per input source
@@ -84,15 +285,25 @@ class LocalJobRunner:
         for source in conf.inputs:
             for split in source.splits(self.splits_per_input):
                 n_tasks += 1
-                self._run_map_task(conf, source.tag, split, partitions,
-                                   metrics, counters)
+                task = execute_map_task(conf, source.tag, split)
+                metrics.merge(task.metrics)
+                counters.merge(task.counters)
+                for part, pairs in enumerate(task.partitions):
+                    partitions[part].extend(pairs)
         metrics.map_tasks = n_tasks
         counters.increment(FRAMEWORK_GROUP, "map_tasks", n_tasks)
 
-        outputs = self._run_reduce_phase(conf, partitions, metrics, counters)
+        outputs: List[Tuple[Any, Any]] = []
+        for pairs in partitions:
+            if not pairs:
+                continue
+            reduced = execute_reduce_partition(conf, pairs)
+            metrics.merge(reduced.metrics)
+            counters.merge(reduced.counters)
+            outputs.extend(reduced.outputs)
 
         if conf.output_path is not None:
-            self._write_output(conf, outputs)
+            write_job_output(conf, outputs)
 
         metrics.wall_seconds = time.perf_counter() - start
         counters.increment(
@@ -104,161 +315,6 @@ class LocalJobRunner:
             counters=counters,
             metrics=metrics,
         )
-
-    # -- map side -----------------------------------------------------------
-
-    def _run_map_task(
-        self,
-        conf: JobConf,
-        tag: Optional[str],
-        split,
-        partitions: List[List[Tuple[Any, Any]]],
-        metrics: JobMetrics,
-        counters: Counters,
-    ) -> None:
-        mapper = conf.make_mapper(tag)
-        ctx = Context(input_tag=tag)
-        reader = split.source.open(split)
-        try:
-            mapper.setup(ctx)
-            for key, value in reader:
-                _collect_yielded(
-                    ctx, mapper.map(key, value, ctx), "map()"
-                )
-            mapper.cleanup(ctx)
-        except Exception as exc:
-            raise JobExecutionError(
-                f"map task failed in job {conf.name!r}: {exc}"
-            ) from exc
-
-        metrics.map_input_records += reader.records
-        metrics.map_input_stored_bytes += reader.stored_bytes
-        metrics.map_input_logical_bytes += reader.logical_bytes
-        metrics.fields_deserialized += reader.fields
-        metrics.records_skipped += reader.skipped
-        metrics.map_output_records += len(ctx.emitted)
-        for key, value in ctx.emitted:
-            metrics.map_output_bytes += estimate_size(key) + estimate_size(value)
-        counters.merge(ctx.counters)
-
-        pairs = ctx.emitted
-        if conf.combiner is not None and pairs:
-            pairs = self._run_combiner(conf, pairs, counters)
-
-        if conf.shuffle_filter is not None and pairs:
-            # Appendix E: delete map outputs whose group the reducer
-            # provably ignores, before they cost shuffle/sort work.
-            kept = []
-            for key, value in pairs:
-                if conf.shuffle_filter(key):
-                    kept.append((key, value))
-                else:
-                    metrics.shuffle_records_skipped += 1
-            pairs = kept
-
-        for key, value in pairs:
-            part = conf.partitioner.partition(key, conf.num_reducers)
-            partitions[part].append((key, value))
-            metrics.shuffle_records += 1
-            key_bytes = estimate_size(key)
-            metrics.shuffle_key_bytes += key_bytes
-            metrics.shuffle_bytes += key_bytes + estimate_size(value)
-
-    def _run_combiner(
-        self,
-        conf: JobConf,
-        pairs: List[Tuple[Any, Any]],
-        counters: Counters,
-    ) -> List[Tuple[Any, Any]]:
-        combiner = conf.make_combiner()
-        assert combiner is not None
-        ctx = Context()
-        ordered = sorted(pairs, key=lambda kv: sort_key(kv[0]))
-        try:
-            combiner.setup(ctx)
-            for _skey, group in groupby(ordered, key=lambda kv: sort_key(kv[0])):
-                group = list(group)
-                _collect_yielded(
-                    ctx,
-                    combiner.reduce(group[0][0], [v for _, v in group], ctx),
-                    "combine()",
-                )
-            combiner.cleanup(ctx)
-        except Exception as exc:
-            raise JobExecutionError(
-                f"combiner failed in job {conf.name!r}: {exc}"
-            ) from exc
-        counters.merge(ctx.counters)
-        return ctx.emitted
-
-    # -- reduce side ---------------------------------------------------------
-
-    def _run_reduce_phase(
-        self,
-        conf: JobConf,
-        partitions: List[List[Tuple[Any, Any]]],
-        metrics: JobMetrics,
-        counters: Counters,
-    ) -> List[Tuple[Any, Any]]:
-        reducer_proto = conf.make_reducer()
-        outputs: List[Tuple[Any, Any]] = []
-        for pairs in partitions:
-            if not pairs:
-                continue
-            if reducer_proto is None:
-                # Map-only job: shuffle output is the job output.
-                outputs.extend(pairs)
-                metrics.reduce_output_records += len(pairs)
-                for key, value in pairs:
-                    metrics.reduce_output_bytes += (
-                        estimate_size(key) + estimate_size(value)
-                    )
-                continue
-            reducer = conf.make_reducer()
-            assert reducer is not None
-            ctx = Context()
-            ordered = sorted(pairs, key=lambda kv: sort_key(kv[0]))
-            try:
-                reducer.setup(ctx)
-                for _skey, group in groupby(
-                    ordered, key=lambda kv: sort_key(kv[0])
-                ):
-                    group = list(group)
-                    metrics.reduce_groups += 1
-                    metrics.reduce_input_records += len(group)
-                    _collect_yielded(
-                        ctx,
-                        reducer.reduce(group[0][0], [v for _, v in group], ctx),
-                        "reduce()",
-                    )
-                reducer.cleanup(ctx)
-            except Exception as exc:
-                raise JobExecutionError(
-                    f"reduce task failed in job {conf.name!r}: {exc}"
-                ) from exc
-            counters.merge(ctx.counters)
-            outputs.extend(ctx.emitted)
-            metrics.reduce_output_records += len(ctx.emitted)
-            for key, value in ctx.emitted:
-                metrics.reduce_output_bytes += (
-                    estimate_size(key) + estimate_size(value)
-                )
-        return outputs
-
-    # -- output --------------------------------------------------------------
-
-    def _write_output(self, conf: JobConf, outputs: List[Tuple[Any, Any]]) -> None:
-        key_schema = conf.output_key_schema
-        value_schema = conf.output_value_schema
-        if key_schema is None or value_schema is None:
-            raise JobExecutionError(
-                f"job {conf.name!r} sets output_path but not output schemas"
-            )
-        with RecordFileWriter(conf.output_path, key_schema, value_schema) as w:
-            for key, value in outputs:
-                w.append(
-                    _coerce(key, key_schema), _coerce(value, value_schema)
-                )
 
 
 def _coerce(value: Any, schema: Schema) -> Record:
@@ -276,6 +332,26 @@ def _coerce(value: Any, schema: Schema) -> Record:
 DEFAULT_RUNNER = LocalJobRunner()
 
 
-def run_job(conf: JobConf, runner: Optional[LocalJobRunner] = None) -> JobResult:
-    """Run a job on the default local runner (convenience entry point)."""
-    return (runner or DEFAULT_RUNNER).run(conf)
+def run_job(conf: JobConf, runner: Optional[Any] = None) -> JobResult:
+    """Run a job and return its :class:`~repro.mapreduce.job.JobResult`.
+
+    This is the convenience entry point for running a
+    :class:`~repro.mapreduce.job.JobConf` without going through the
+    Manimal optimizer.
+
+    ``runner`` accepts the same knob everywhere in the system does:
+
+    * ``None`` -- use ``conf.parallelism`` if set (>1 selects a
+      :class:`~repro.mapreduce.parallel.ParallelJobRunner` with that many
+      workers, 1 forces sequential), else the sequential
+      :data:`DEFAULT_RUNNER`;
+    * an ``int`` -- worker count (1 means sequential);
+    * ``"local"`` / ``"parallel"`` -- runner by name;
+    * any object with a ``run(conf)`` method -- used as-is.
+
+    Output is byte-identical across all of these; see
+    ``docs/execution-model.md`` for the determinism guarantees.
+    """
+    from repro.mapreduce.parallel import resolve_runner
+
+    return resolve_runner(runner, conf=conf, default=DEFAULT_RUNNER).run(conf)

@@ -1,0 +1,85 @@
+"""Spill-based shuffle: on-disk runs between the map and reduce phases.
+
+The sequential :class:`~repro.mapreduce.runtime.LocalJobRunner` shuffles
+through memory -- every map task appends into shared per-partition lists.
+The :class:`~repro.mapreduce.parallel.ParallelJobRunner` cannot: map tasks
+run in separate processes, so each task **spills** its per-partition
+output to a run file, and each reduce task **merges** the runs addressed
+to its partition.  This module is that disk format plus the merge.
+
+Determinism contract (see ``docs/execution-model.md``):
+
+* a *sorted* run holds one map task's pairs for one partition,
+  stable-sorted by :func:`~repro.mapreduce.keyspace.sort_key`;
+* :func:`merge_runs` k-way merges runs **in map-task order** with a
+  stable merge, which reproduces exactly the stable full-partition sort
+  the sequential runner performs (equal keys surface in task order, and
+  within a task in emit order);
+* map-only jobs spill *unsorted* runs and concatenate them in task
+  order, because the sequential runner never sorts map-only output.
+
+Run files are pickle streams in a job-private temporary directory; they
+exist only between the two phases of one run() call.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import pickle
+from itertools import chain
+from typing import Any, Iterable, Iterator, List, Tuple
+
+from repro.exceptions import JobExecutionError
+from repro.mapreduce.keyspace import sort_key
+
+#: Pickle protocol for spill files (private, same-interpreter lifetime).
+SPILL_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+
+def run_path(spill_dir: str, phase: str, task_index: int,
+             partition: int) -> str:
+    """Canonical file name for one run: ``<phase>-t<task>-p<partition>``."""
+    return os.path.join(spill_dir, f"{phase}-t{task_index}-p{partition}.run")
+
+
+def write_run(path: str, pairs: Iterable[Tuple[Any, Any]]) -> str:
+    """Spill one run of (key, value) pairs to ``path``; returns ``path``."""
+    try:
+        with open(path, "wb") as f:
+            pickle.dump(list(pairs), f, protocol=SPILL_PROTOCOL)
+    except (pickle.PicklingError, TypeError, AttributeError) as exc:
+        raise JobExecutionError(
+            f"cannot spill shuffle run {os.path.basename(path)!r}: a key or "
+            f"value is not picklable ({exc}); parallel execution needs "
+            "picklable intermediate pairs -- fall back to the sequential "
+            "runner for this job"
+        ) from exc
+    return path
+
+
+def read_run(path: str) -> List[Tuple[Any, Any]]:
+    """Load one spilled run back into memory."""
+    with open(path, "rb") as f:
+        return pickle.load(f)
+
+
+def sort_run(pairs: List[Tuple[Any, Any]]) -> List[Tuple[Any, Any]]:
+    """Stable-sort one task's partition output by shuffle key order."""
+    return sorted(pairs, key=lambda kv: sort_key(kv[0]))
+
+
+def merge_runs(paths: List[str], sorted_runs: bool = True
+               ) -> Iterator[Tuple[Any, Any]]:
+    """K-way merge spilled runs into one partition stream.
+
+    ``paths`` must be ordered by map-task index.  For ``sorted_runs``,
+    ``heapq.merge`` breaks key ties toward earlier iterables, so the
+    merged stream equals a stable sort of the task-order concatenation --
+    the exact stream the sequential runner reduces.  For unsorted runs
+    (map-only jobs) the merge degenerates to task-order concatenation.
+    """
+    runs = [read_run(path) for path in paths]
+    if not sorted_runs:
+        return chain.from_iterable(runs)
+    return heapq.merge(*runs, key=lambda kv: sort_key(kv[0]))

@@ -188,6 +188,14 @@ class Record:
     def __setattr__(self, name: str, value: Any) -> None:
         raise SerializationError("records are immutable")
 
+    def __reduce__(self) -> Tuple[Any, ...]:
+        # Records use __slots__ plus a field-lookup __getattr__, which
+        # breaks pickle's default slot-state protocol (the state lookup
+        # recurses through __getattr__ before _schema is restored).  The
+        # parallel runner pickles records into shuffle spill files, so
+        # reconstruct explicitly from (schema, values).
+        return (Record, (self._schema, self._values))
+
     def get(self, name: str, default: Any = None) -> Any:
         """Dict-style access with a default for missing fields."""
         idx = self._schema.field_index(name)

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Check that intra-repo markdown links resolve to real files.
+
+Scans every ``*.md`` file in the repository (skipping ``.git`` and
+generated directories), extracts inline links ``[text](target)``, and
+verifies that each *relative* target exists on disk, resolved against
+the linking file's directory.  External links (``http(s)://``,
+``mailto:``) and pure in-page anchors (``#section``) are ignored;
+``path#fragment`` targets are checked for the path part only.
+
+Exit status 0 when every link resolves; 1 with a report otherwise.
+Run from anywhere: the repo root is located relative to this file.
+
+Used by the CI ``docs`` job and by ``tests/test_docs_links.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: directories never scanned for markdown or used as link targets
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "results", "node_modules"}
+
+#: inline markdown link: [text](target), non-greedy, no nested parens
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: schemes that point outside the repository
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(root: str) -> Iterator[str]:
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d not in SKIP_DIRS)
+        for name in sorted(filenames):
+            if name.lower().endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def links_in(path: str) -> Iterator[str]:
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read()
+    # strip fenced code blocks so example snippets cannot fail the check
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in LINK_RE.finditer(text):
+        yield match.group(1)
+
+
+def check_file(path: str) -> Tuple[List[Tuple[str, str]], int]:
+    """(broken (target, reason) pairs, total links) for one file."""
+    broken = []
+    total = 0
+    base = os.path.dirname(path)
+    for target in links_in(path):
+        total += 1
+        if target.startswith(EXTERNAL):
+            continue
+        resolved = target.split("#", 1)[0]
+        if not resolved:          # pure in-page anchor
+            continue
+        if resolved.startswith("/"):
+            broken.append((target, "absolute path; use a relative link"))
+            continue
+        if not os.path.exists(os.path.normpath(os.path.join(base, resolved))):
+            broken.append((target, "target does not exist"))
+    return broken, total
+
+
+def main() -> int:
+    failures = 0
+    files = 0
+    checked = 0
+    for md in markdown_files(REPO_ROOT):
+        files += 1
+        rel = os.path.relpath(md, REPO_ROOT)
+        broken, total = check_file(md)
+        checked += total
+        for target, reason in broken:
+            failures += 1
+            print(f"{rel}: broken link ({reason}): {target}")
+    if failures:
+        print(f"\n{failures} broken link(s) across {files} markdown file(s)")
+        return 1
+    print(f"OK: {files} markdown file(s), {checked} link(s), all "
+          f"intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
