@@ -33,7 +33,21 @@ _RANK_RECORD = 5
 
 
 def sort_key(value: Any) -> Tuple:
-    """Map a value to a tuple that totally orders mixed-type key streams."""
+    """Map a value to a tuple that totally orders mixed-type key streams.
+
+    This sits in the innermost shuffle loop (once per map-output pair --
+    the runners decorate each pair with its sort key exactly once), so the
+    common concrete types dispatch through one dict lookup instead of an
+    isinstance chain.
+    """
+    handler = _SORT_KEY_DISPATCH.get(type(value))
+    if handler is not None:
+        return handler(value)
+    return _sort_key_slow(value)
+
+
+def _sort_key_slow(value: Any) -> Tuple:
+    """isinstance fallback: subclasses and the rarer key types."""
     if value is None:
         return (_RANK_NONE,)
     if isinstance(value, bool):
@@ -52,6 +66,18 @@ def sort_key(value: Any) -> Tuple:
     raise MapReduceError(
         f"value of type {type(value).__name__} cannot be a shuffle key"
     )
+
+
+_SORT_KEY_DISPATCH = {
+    type(None): lambda v: (_RANK_NONE,),
+    bool: lambda v: (_RANK_NUMBER, int(v)),
+    int: lambda v: (_RANK_NUMBER, v),
+    float: lambda v: (_RANK_NUMBER, v),
+    str: lambda v: (_RANK_STR, v),
+    bytes: lambda v: (_RANK_BYTES, v),
+    bytearray: lambda v: (_RANK_BYTES, bytes(v)),
+    tuple: lambda v: (_RANK_TUPLE, tuple(sort_key(x) for x in v)),
+}
 
 
 def _canonical_bytes(value: Any, out: bytearray) -> None:
@@ -113,14 +139,23 @@ def estimate_size(value: Any) -> int:
     """Approximate serialized size in bytes of a key or value.
 
     Matches the framing the storage layer would use; the cost model charges
-    shuffle and output I/O based on these estimates.
+    shuffle and output I/O based on these estimates.  Like
+    :func:`sort_key`, dispatches on concrete type first: the runners call
+    this exactly once per emitted key and value.
     """
+    handler = _SIZE_DISPATCH.get(type(value))
+    if handler is not None:
+        return handler(value)
+    return _estimate_size_slow(value)
+
+
+def _estimate_size_slow(value: Any) -> int:
     if value is None:
         return 1
     if isinstance(value, bool):
         return 1
     if isinstance(value, int):
-        return varint.uvarint_len(varint.zigzag_encode(value))
+        return varint.svarint_len(value)
     if isinstance(value, float):
         return 8
     if isinstance(value, str):
@@ -134,3 +169,15 @@ def estimate_size(value: Any) -> int:
     raise MapReduceError(
         f"cannot estimate size of value type {type(value).__name__}"
     )
+
+
+_SIZE_DISPATCH = {
+    type(None): lambda v: 1,
+    bool: lambda v: 1,
+    int: varint.svarint_len,
+    float: lambda v: 8,
+    str: lambda v: len(v.encode("utf-8")) + 1,
+    bytes: lambda v: len(v) + 1,
+    bytearray: lambda v: len(v) + 1,
+    tuple: lambda v: 1 + sum(estimate_size(x) for x in v),
+}

@@ -83,7 +83,13 @@ _STATE_LOCK = threading.Lock()
 def _map_worker(task_index: int) -> Tuple[
     int, Dict[int, str], JobMetrics, Counters
 ]:
-    """Run map task ``task_index`` and spill its partitioned output."""
+    """Run map task ``task_index`` and spill its partitioned output.
+
+    Reducing jobs spill *decorated* sorted runs -- ``(sort_key, key,
+    value)`` rows -- so the sort key computed here is the one the merge
+    heap and the reducer's grouping reuse.  Map-only jobs spill plain
+    pairs (their output is never sorted).
+    """
     state = _JOB_STATE
     assert state is not None, "worker has no inherited job state"
     tag, split = state.tasks[task_index]
@@ -93,7 +99,7 @@ def _map_worker(task_index: int) -> Tuple[
         if not pairs:
             continue
         if state.sort_runs:
-            pairs = shuffle.sort_run(pairs)
+            pairs = shuffle.sort_decorated_run(shuffle.decorate_pairs(pairs))
         runs[part] = shuffle.write_run(
             shuffle.run_path(state.spill_dir, "map", task_index, part), pairs
         )
@@ -106,8 +112,14 @@ def _reduce_worker(partition: int, run_paths: List[str]) -> Tuple[
     """Merge one partition's runs, reduce them, spill the output."""
     state = _JOB_STATE
     assert state is not None, "worker has no inherited job state"
-    merged = shuffle.merge_runs(run_paths, sorted_runs=state.sort_runs)
-    reduced = execute_reduce_partition(state.conf, merged, presorted=True)
+    if state.sort_runs:
+        merged: Any = shuffle.merge_decorated_runs(run_paths)
+        reduced = execute_reduce_partition(
+            state.conf, merged, presorted=True, decorated=True
+        )
+    else:
+        merged = shuffle.merge_runs(run_paths, sorted_runs=False)
+        reduced = execute_reduce_partition(state.conf, merged, presorted=True)
     out_path = shuffle.write_run(
         shuffle.run_path(state.spill_dir, "out", 0, partition),
         reduced.outputs,

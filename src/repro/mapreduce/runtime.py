@@ -28,6 +28,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from itertools import groupby
+from operator import itemgetter
 from typing import Any, Iterable, List, Optional, Tuple
 
 from repro.exceptions import JobExecutionError
@@ -38,6 +39,10 @@ from repro.mapreduce.keyspace import estimate_size, sort_key
 from repro.mapreduce.metrics import JobMetrics
 from repro.storage.recordfile import RecordFileWriter
 from repro.storage.serialization import Record, Schema
+
+#: Decorated-stream accessors (see :mod:`repro.mapreduce.shuffle`): the
+#: hot loops sort and group by a sort key computed once per pair.
+_SKEY = itemgetter(0)
 
 
 def _collect_yielded(ctx: Context, result: Any, where: str) -> None:
@@ -117,8 +122,11 @@ def execute_map_task(
     reader = split.source.open(split)
     try:
         mapper.setup(ctx)
+        map_fn = mapper.map
         for key, value in reader:
-            _collect_yielded(ctx, mapper.map(key, value, ctx), "map()")
+            result = map_fn(key, value, ctx)
+            if result is not None:
+                _collect_yielded(ctx, result, "map()")
         mapper.cleanup(ctx)
     except Exception as exc:
         raise JobExecutionError(
@@ -128,35 +136,59 @@ def execute_map_task(
     metrics.map_input_records += reader.records
     metrics.map_input_stored_bytes += reader.stored_bytes
     metrics.map_input_logical_bytes += reader.logical_bytes
-    metrics.fields_deserialized += reader.fields
     metrics.records_skipped += reader.skipped
-    metrics.map_output_records += len(ctx.emitted)
-    for key, value in ctx.emitted:
-        metrics.map_output_bytes += estimate_size(key) + estimate_size(value)
+    emitted = ctx.emitted
+    metrics.map_output_records += len(emitted)
     counters.merge(ctx.counters)
 
-    pairs = ctx.emitted
-    if conf.combiner is not None and pairs:
-        pairs = _run_combiner(conf, pairs, counters)
+    # One estimate_size pass per pair, shared between map-output and
+    # shuffle accounting: without a combiner the emitted pairs *are* the
+    # shuffle stream, so each key/value is sized exactly once and the
+    # (key, value, key_size, value_size) rows flow through the
+    # filter/partition chain without being rebuilt as plain pairs.
+    if conf.combiner is not None and emitted:
+        map_output_bytes = 0
+        for key, value in emitted:
+            map_output_bytes += estimate_size(key) + estimate_size(value)
+        metrics.map_output_bytes += map_output_bytes
+        sized = [
+            (key, value, estimate_size(key), estimate_size(value))
+            for key, value in _run_combiner(conf, emitted, counters)
+        ]
+    else:
+        sized = [
+            (key, value, estimate_size(key), estimate_size(value))
+            for key, value in emitted
+        ]
+        map_output_bytes = 0
+        for row in sized:
+            map_output_bytes += row[2] + row[3]
+        metrics.map_output_bytes += map_output_bytes
 
-    if conf.shuffle_filter is not None and pairs:
+    if conf.shuffle_filter is not None and sized:
         # Appendix E: delete map outputs whose group the reducer
         # provably ignores, before they cost shuffle/sort work.
-        kept = []
-        for key, value in pairs:
-            if conf.shuffle_filter(key):
-                kept.append((key, value))
-            else:
-                metrics.shuffle_records_skipped += 1
-        pairs = kept
+        keep = conf.shuffle_filter
+        kept = [row for row in sized if keep(row[0])]
+        metrics.shuffle_records_skipped += len(sized) - len(kept)
+        sized = kept
 
-    for key, value in pairs:
-        part = conf.partitioner.partition(key, conf.num_reducers)
-        out.partitions[part].append((key, value))
-        metrics.shuffle_records += 1
-        key_bytes = estimate_size(key)
-        metrics.shuffle_key_bytes += key_bytes
-        metrics.shuffle_bytes += key_bytes + estimate_size(value)
+    partition = conf.partitioner.partition
+    n_reducers = conf.num_reducers
+    partitions = out.partitions
+    shuffle_bytes = 0
+    shuffle_key_bytes = 0
+    for key, value, key_size, value_size in sized:
+        partitions[partition(key, n_reducers)].append((key, value))
+        shuffle_key_bytes += key_size
+        shuffle_bytes += key_size + value_size
+    metrics.shuffle_records += len(sized)
+    metrics.shuffle_key_bytes += shuffle_key_bytes
+    metrics.shuffle_bytes += shuffle_bytes
+    # Harvested last: on lazy-decoding inputs the size accounting and
+    # combiner above may materialize further fields of emitted records,
+    # and that decode work must be charged to this task, not lost.
+    metrics.fields_deserialized += reader.fields_decoded
     return out
 
 
@@ -168,16 +200,19 @@ def _run_combiner(
     combiner = conf.make_combiner()
     assert combiner is not None
     ctx = Context()
-    ordered = sorted(pairs, key=lambda kv: sort_key(kv[0]))
+    # Decorate-sort-group: sort_key runs once per pair; the stable sort
+    # and the groupby both read the precomputed decoration, and equal keys
+    # keep emit order without raw keys ever being compared.
+    decorated = [(sort_key(key), key, value) for key, value in pairs]
+    decorated.sort(key=_SKEY)
     try:
         combiner.setup(ctx)
-        for _skey, group in groupby(ordered, key=lambda kv: sort_key(kv[0])):
-            group = list(group)
-            _collect_yielded(
-                ctx,
-                combiner.reduce(group[0][0], [v for _, v in group], ctx),
-                "combine()",
-            )
+        reduce_fn = combiner.reduce
+        for _skey, group in groupby(decorated, key=_SKEY):
+            rows = list(group)
+            result = reduce_fn(rows[0][1], [row[2] for row in rows], ctx)
+            if result is not None:
+                _collect_yielded(ctx, result, "combine()")
         combiner.cleanup(ctx)
     except Exception as exc:
         raise JobExecutionError(
@@ -189,16 +224,20 @@ def _run_combiner(
 
 def execute_reduce_partition(
     conf: JobConf,
-    pairs: Iterable[Tuple[Any, Any]],
+    pairs: Iterable[Tuple[Any, ...]],
     presorted: bool = False,
+    decorated: bool = False,
 ) -> ReduceTaskResult:
     """Run the reduce side of one partition.
 
     ``pairs`` is the partition's shuffle stream.  With ``presorted=False``
-    (sequential runner) it is stable-sorted by :func:`sort_key` here; with
+    (sequential runner) it is plain (key, value) pairs, decorated with
+    their sort key (computed once per pair) and stable-sorted here; with
     ``presorted=True`` (parallel runner) the caller already merged sorted
-    spill runs and the stream is consumed as-is.  Map-only jobs pass
-    records through untouched, preserving arrival order.
+    spill runs and the stream is consumed as-is -- ``decorated=True``
+    marks a stream of ``(sort_key, key, value)`` rows as spilled by the
+    parallel shuffle, so no sort key is ever recomputed.  Map-only jobs
+    pass records through untouched, preserving arrival order.
     """
     out = ReduceTaskResult(outputs=[])
     metrics = out.metrics
@@ -206,6 +245,8 @@ def execute_reduce_partition(
     reducer = conf.make_reducer()
     if reducer is None:
         # Map-only job: shuffle output is the job output.
+        if decorated:
+            pairs = [(key, value) for _skey, key, value in pairs]
         out.outputs = list(pairs)
         metrics.reduce_output_records += len(out.outputs)
         for key, value in out.outputs:
@@ -215,21 +256,24 @@ def execute_reduce_partition(
         return out
 
     ctx = Context()
-    if presorted:
-        ordered: Iterable[Tuple[Any, Any]] = pairs
+    if decorated:
+        stream: Iterable[Tuple[Any, Any, Any]] = pairs
+    elif presorted:
+        stream = ((sort_key(key), key, value) for key, value in pairs)
     else:
-        ordered = sorted(pairs, key=lambda kv: sort_key(kv[0]))
+        rows = [(sort_key(key), key, value) for key, value in pairs]
+        rows.sort(key=_SKEY)
+        stream = rows
     try:
         reducer.setup(ctx)
-        for _skey, group in groupby(ordered, key=lambda kv: sort_key(kv[0])):
-            group = list(group)
+        reduce_fn = reducer.reduce
+        for _skey, group in groupby(stream, key=_SKEY):
+            rows = list(group)
             metrics.reduce_groups += 1
-            metrics.reduce_input_records += len(group)
-            _collect_yielded(
-                ctx,
-                reducer.reduce(group[0][0], [v for _, v in group], ctx),
-                "reduce()",
-            )
+            metrics.reduce_input_records += len(rows)
+            result = reduce_fn(rows[0][1], [row[2] for row in rows], ctx)
+            if result is not None:
+                _collect_yielded(ctx, result, "reduce()")
         reducer.cleanup(ctx)
     except Exception as exc:
         raise JobExecutionError(
@@ -238,10 +282,10 @@ def execute_reduce_partition(
     out.counters.merge(ctx.counters)
     out.outputs = ctx.emitted
     metrics.reduce_output_records += len(ctx.emitted)
+    reduce_output_bytes = 0
     for key, value in ctx.emitted:
-        metrics.reduce_output_bytes += (
-            estimate_size(key) + estimate_size(value)
-        )
+        reduce_output_bytes += estimate_size(key) + estimate_size(value)
+    metrics.reduce_output_bytes += reduce_output_bytes
     return out
 
 

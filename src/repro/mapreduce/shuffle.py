@@ -7,16 +7,24 @@ run in separate processes, so each task **spills** its per-partition
 output to a run file, and each reduce task **merges** the runs addressed
 to its partition.  This module is that disk format plus the merge.
 
+Hot-path note: sorted runs travel **decorated** -- each pair is stored as
+``(sort_key(key), key, value)`` -- so the shuffle computes
+:func:`~repro.mapreduce.keyspace.sort_key` exactly once per pair.  The
+spill sort, the k-way merge heap, and the reducer's ``groupby`` all read
+the precomputed key with a C-level ``itemgetter`` instead of re-deriving
+it (the pre-overhaul path paid three ``sort_key`` calls per pair).
+
 Determinism contract (see ``docs/execution-model.md``):
 
-* a *sorted* run holds one map task's pairs for one partition,
-  stable-sorted by :func:`~repro.mapreduce.keyspace.sort_key`;
-* :func:`merge_runs` k-way merges runs **in map-task order** with a
-  stable merge, which reproduces exactly the stable full-partition sort
-  the sequential runner performs (equal keys surface in task order, and
-  within a task in emit order);
-* map-only jobs spill *unsorted* runs and concatenate them in task
-  order, because the sequential runner never sorts map-only output.
+* a *sorted* run holds one map task's decorated pairs for one partition,
+  stable-sorted by the decoration;
+* :func:`merge_decorated_runs` k-way merges runs **in map-task order**
+  with a stable merge, which reproduces exactly the stable
+  full-partition sort the sequential runner performs (equal keys surface
+  in task order, and within a task in emit order);
+* map-only jobs spill *unsorted*, undecorated runs and concatenate them
+  in task order, because the sequential runner never sorts map-only
+  output.
 
 Run files are pickle streams in a job-private temporary directory; they
 exist only between the two phases of one run() call.
@@ -28,6 +36,7 @@ import heapq
 import os
 import pickle
 from itertools import chain
+from operator import itemgetter
 from typing import Any, Iterable, Iterator, List, Tuple
 
 from repro.exceptions import JobExecutionError
@@ -36,6 +45,9 @@ from repro.mapreduce.keyspace import sort_key
 #: Pickle protocol for spill files (private, same-interpreter lifetime).
 SPILL_PROTOCOL = pickle.HIGHEST_PROTOCOL
 
+#: Reads the precomputed sort key out of a decorated (skey, key, value).
+DECORATION_KEY = itemgetter(0)
+
 
 def run_path(spill_dir: str, phase: str, task_index: int,
              partition: int) -> str:
@@ -43,8 +55,8 @@ def run_path(spill_dir: str, phase: str, task_index: int,
     return os.path.join(spill_dir, f"{phase}-t{task_index}-p{partition}.run")
 
 
-def write_run(path: str, pairs: Iterable[Tuple[Any, Any]]) -> str:
-    """Spill one run of (key, value) pairs to ``path``; returns ``path``."""
+def write_run(path: str, pairs: Iterable[Tuple[Any, ...]]) -> str:
+    """Spill one run of (decorated or plain) pairs to ``path``."""
     try:
         with open(path, "wb") as f:
             pickle.dump(list(pairs), f, protocol=SPILL_PROTOCOL)
@@ -58,28 +70,70 @@ def write_run(path: str, pairs: Iterable[Tuple[Any, Any]]) -> str:
     return path
 
 
-def read_run(path: str) -> List[Tuple[Any, Any]]:
+def read_run(path: str) -> List[Tuple[Any, ...]]:
     """Load one spilled run back into memory."""
     with open(path, "rb") as f:
         return pickle.load(f)
 
 
+def decorate_pairs(
+    pairs: Iterable[Tuple[Any, Any]]
+) -> List[Tuple[Any, Any, Any]]:
+    """Attach each pair's shuffle sort key: ``(sort_key(k), k, v)``.
+
+    The single place per pair where :func:`sort_key` runs; everything
+    downstream reuses the decoration.
+    """
+    return [(sort_key(key), key, value) for key, value in pairs]
+
+
+def sort_decorated_run(
+    decorated: List[Tuple[Any, Any, Any]]
+) -> List[Tuple[Any, Any, Any]]:
+    """Stable-sort one task's decorated partition output in place.
+
+    ``list.sort(key=...)`` is stable and only ever compares the extracted
+    sort keys, so equal keys keep emit order and the (possibly
+    incomparable) raw keys/values are never compared.
+    """
+    decorated.sort(key=DECORATION_KEY)
+    return decorated
+
+
 def sort_run(pairs: List[Tuple[Any, Any]]) -> List[Tuple[Any, Any]]:
-    """Stable-sort one task's partition output by shuffle key order."""
-    return sorted(pairs, key=lambda kv: sort_key(kv[0]))
+    """Stable-sort one task's plain partition output by shuffle key order."""
+    return [(k, v) for _skey, k, v in sort_decorated_run(decorate_pairs(pairs))]
+
+
+def merge_decorated_runs(
+    paths: List[str]
+) -> Iterator[Tuple[Any, Any, Any]]:
+    """K-way merge decorated sorted runs into one decorated stream.
+
+    ``paths`` must be ordered by map-task index.  ``heapq.merge`` breaks
+    key ties toward earlier iterables, so the merged stream equals a
+    stable sort of the task-order concatenation -- the exact stream the
+    sequential runner reduces.  The heap compares precomputed
+    decorations; ``sort_key`` is never re-derived.
+    """
+    runs = [read_run(path) for path in paths]
+    return heapq.merge(*runs, key=DECORATION_KEY)
 
 
 def merge_runs(paths: List[str], sorted_runs: bool = True
                ) -> Iterator[Tuple[Any, Any]]:
-    """K-way merge spilled runs into one partition stream.
+    """K-way merge *plain-pair* runs into one partition stream.
 
-    ``paths`` must be ordered by map-task index.  For ``sorted_runs``,
-    ``heapq.merge`` breaks key ties toward earlier iterables, so the
-    merged stream equals a stable sort of the task-order concatenation --
-    the exact stream the sequential runner reduces.  For unsorted runs
-    (map-only jobs) the merge degenerates to task-order concatenation.
+    Compatibility/map-only path: for unsorted runs (map-only jobs) the
+    merge degenerates to task-order concatenation; sorted plain runs are
+    decorated on read and merged through the same machinery as
+    :func:`merge_decorated_runs`, so the ordering contract has a single
+    implementation.  The reducing fast path spills decorated runs and
+    uses :func:`merge_decorated_runs` directly.
     """
     runs = [read_run(path) for path in paths]
     if not sorted_runs:
         return chain.from_iterable(runs)
-    return heapq.merge(*runs, key=lambda kv: sort_key(kv[0]))
+    decorated = [decorate_pairs(run) for run in runs]
+    merged = heapq.merge(*decorated, key=DECORATION_KEY)
+    return ((key, value) for _skey, key, value in merged)

@@ -25,7 +25,9 @@ from repro.storage.recordfile import (
 )
 from repro.storage.serialization import (
     Field,
+    FieldDecodeCounter,
     FieldType,
+    LazyRecord,
     OpaqueSchema,
     Record,
     Schema,
@@ -46,7 +48,9 @@ __all__ = [
     "DictionaryFileReader",
     "DictionaryFileWriter",
     "Field",
+    "FieldDecodeCounter",
     "FieldType",
+    "LazyRecord",
     "OpaqueSchema",
     "Record",
     "RecordFileReader",

@@ -68,7 +68,11 @@ def build_projection(
             block_size=block_size,
             metadata=metadata,
         ) as writer:
-            for key, value in reader.iter_records():
+            # Lazy source decode: only the kept fields materialize (via
+            # project_record's attribute reads); dropped fields -- often
+            # the huge ones, which is why they are being projected away --
+            # are never deserialized at all.
+            for key, value in reader.iter_records(lazy_values=True):
                 writer.append(key, project_record(value, projected))
         return {
             "records": writer.records_written,

@@ -162,19 +162,10 @@ class DeltaFileReader:
         self._file_size = os.path.getsize(path)
 
     def _read_uvarint_from_file(self) -> Tuple[int, int]:
-        result = 0
-        shift = 0
-        n = 0
-        while True:
-            raw = self._file.read(1)
-            if not raw:
-                raise CorruptFileError(f"{self.path}: truncated varint")
-            n += 1
-            byte = raw[0]
-            result |= (byte & 0x7F) << shift
-            if not byte & 0x80:
-                return result, n
-            shift += 7
+        try:
+            return varint.read_uvarint_stream(self._file)
+        except SerializationError as exc:
+            raise CorruptFileError(f"{self.path}: {exc}") from exc
 
     def blocks(self) -> List[BlockInfo]:
         """Block directory for input splitting (same shape as record files)."""
@@ -197,18 +188,24 @@ class DeltaFileReader:
             source: Iterator[Tuple[bytes, int]] = self._iter_payloads_to_eof()
         else:
             source = self._iter_payloads_from(blocks)
+        key_decode = self.key_schema.decode
         for payload, n_records in source:
+            view = memoryview(payload)
+            end = len(payload)
             prev: Dict[str, int] = {}
             pos = 0
             for _ in range(n_records):
-                klen, pos = varint.decode_uvarint(payload, pos)
-                kraw = payload[pos:pos + klen]
-                pos += klen
-                vlen, pos = varint.decode_uvarint(payload, pos)
-                vraw = payload[pos:pos + vlen]
-                pos += vlen
-                key = self.key_schema.decode(kraw)
-                value, prev = self._decode_value_record(vraw, prev)
+                klen, pos = varint.decode_uvarint(view, pos, end)
+                kend = pos + klen
+                if kend > end:
+                    raise CorruptFileError(f"{self.path}: truncated record")
+                vlen, vpos = varint.decode_uvarint(view, kend, end)
+                vend = vpos + vlen
+                if vend > end:
+                    raise CorruptFileError(f"{self.path}: truncated record")
+                key = key_decode(view, pos, kend)
+                value, prev = self._decode_value_record(view, vpos, vend, prev)
+                pos = vend
                 yield key, value
 
     def _iter_payloads_to_eof(self) -> Iterator[Tuple[bytes, int]]:
@@ -235,21 +232,26 @@ class DeltaFileReader:
             yield payload, n_records
 
     def _decode_value_record(
-        self, vraw: bytes, prev: Dict[str, int]
+        self, buf: Any, pos: int, end: int, prev: Dict[str, int]
     ) -> Tuple[Record, Dict[str, int]]:
+        """Decode one delta-coded value record from ``buf[pos:end]``.
+
+        Operates directly on the shared block buffer (``buf`` is the
+        block's memoryview); delta fields reconstruct from the running
+        ``prev`` state, so decoding is eager by construction.
+        """
         values: List[Any] = []
-        pos = 0
         for field in self.value_schema.fields:
             if field.name in self._delta_set:
-                delta, pos = varint.decode_svarint(vraw, pos)
+                delta, pos = varint.decode_svarint(buf, pos, end)
                 base = prev.get(field.name)
                 absolute = delta if base is None else base + delta
                 prev[field.name] = absolute
                 values.append(absolute)
             else:
-                value, pos = _decode_value(field.ftype, vraw, pos)
+                value, pos = _decode_value(field.ftype, buf, pos, end)
                 values.append(value)
-        if pos != len(vraw):
+        if pos != end:
             raise CorruptFileError(f"{self.path}: trailing value bytes")
         return Record(self.value_schema, values), prev
 

@@ -190,19 +190,10 @@ class DictionaryFileReader:
         self._file_size = total
 
     def _read_uvarint_from_file(self) -> Tuple[int, int]:
-        result = 0
-        shift = 0
-        n = 0
-        while True:
-            raw = self._file.read(1)
-            if not raw:
-                raise CorruptFileError(f"{self.path}: truncated varint")
-            n += 1
-            byte = raw[0]
-            result |= (byte & 0x7F) << shift
-            if not byte & 0x80:
-                return result, n
-            shift += 7
+        try:
+            return varint.read_uvarint_stream(self._file)
+        except SerializationError as exc:
+            raise CorruptFileError(f"{self.path}: {exc}") from exc
 
     def dictionary(self) -> List[str]:
         """The code -> string table (loaded lazily, cached)."""
@@ -243,15 +234,22 @@ class DictionaryFileReader:
             if len(payload) != payload_len:
                 raise CorruptFileError(f"{self.path}: truncated block")
             self.bytes_read += n1 + n2 + payload_len
+            view = memoryview(payload)
+            end = len(payload)
+            key_decode = self.key_schema.decode
+            value_decode = self.stored_schema.decode
             pos = 0
             for _ in range(n_records):
-                klen, pos = varint.decode_uvarint(payload, pos)
-                kraw = payload[pos:pos + klen]
-                pos += klen
-                vlen, pos = varint.decode_uvarint(payload, pos)
-                vraw = payload[pos:pos + vlen]
-                pos += vlen
-                yield self.key_schema.decode(kraw), self.stored_schema.decode(vraw)
+                klen, pos = varint.decode_uvarint(view, pos, end)
+                kend = pos + klen
+                if kend > end:
+                    raise CorruptFileError(f"{self.path}: truncated record")
+                vlen, vpos = varint.decode_uvarint(view, kend, end)
+                vend = vpos + vlen
+                if vend > end:
+                    raise CorruptFileError(f"{self.path}: truncated record")
+                yield key_decode(view, pos, kend), value_decode(view, vpos, vend)
+                pos = vend
 
     def count_records(self) -> int:
         return sum(b.n_records for b in self.blocks())

@@ -23,7 +23,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.exceptions import CorruptFileError, SerializationError
 from repro.storage import varint
-from repro.storage.serialization import Record, Schema
+from repro.storage.serialization import FieldDecodeCounter, Record, Schema
 
 MAGIC = b"RPRF"
 DEFAULT_BLOCK_SIZE = 64 * 1024
@@ -173,21 +173,10 @@ class RecordFileReader:
 
     def _read_uvarint_from_file(self) -> Tuple[int, int]:
         """Read one uvarint directly from the file; return (value, n_bytes)."""
-        result = 0
-        shift = 0
-        n = 0
-        while True:
-            raw = self._file.read(1)
-            if not raw:
-                raise CorruptFileError(f"{self.path}: truncated varint")
-            n += 1
-            byte = raw[0]
-            result |= (byte & 0x7F) << shift
-            if not byte & 0x80:
-                return result, n
-            shift += 7
-            if n > varint.MAX_VARINT_LEN:
-                raise CorruptFileError(f"{self.path}: varint too long")
+        try:
+            return varint.read_uvarint_stream(self._file)
+        except SerializationError as exc:
+            raise CorruptFileError(f"{self.path}: {exc}") from exc
 
     # -- block directory ----------------------------------------------------
 
@@ -233,32 +222,77 @@ class RecordFileReader:
                 self.bytes_read += n1 + n2 + payload_len
                 yield payload, n_records
 
+    def _iter_record_spans(
+        self, blocks: Optional[List[BlockInfo]] = None
+    ) -> Iterator[Tuple[memoryview, int, int, int, int]]:
+        """Yield (block_view, key_start, key_end, value_start, value_end).
+
+        One memoryview per *block*; records are addressed by offsets into
+        it, so walking a 64KB block allocates no per-record buffers.
+        """
+        for payload, n_records in self._iter_block_payloads(blocks):
+            view = memoryview(payload)
+            end = len(payload)
+            pos = 0
+            for _ in range(n_records):
+                klen, pos = varint.decode_uvarint(view, pos, end)
+                kend = pos + klen
+                if kend > end:
+                    raise CorruptFileError(f"{self.path}: truncated record")
+                vlen, vpos = varint.decode_uvarint(view, kend, end)
+                vend = vpos + vlen
+                if vend > end:
+                    raise CorruptFileError(f"{self.path}: truncated record")
+                yield view, pos, kend, vpos, vend
+                pos = vend
+            if pos != end:
+                raise CorruptFileError(f"{self.path}: trailing block bytes")
+
     def iter_raw(
         self, blocks: Optional[List[BlockInfo]] = None
     ) -> Iterator[Tuple[bytes, bytes]]:
         """Yield (key_bytes, value_bytes) without decoding."""
-        for payload, n_records in self._iter_block_payloads(blocks):
-            pos = 0
-            for _ in range(n_records):
-                klen, pos = varint.decode_uvarint(payload, pos)
-                kraw = payload[pos:pos + klen]
-                pos += klen
-                vlen, pos = varint.decode_uvarint(payload, pos)
-                vraw = payload[pos:pos + vlen]
-                pos += vlen
-                yield kraw, vraw
-            if pos != len(payload):
-                raise CorruptFileError(f"{self.path}: trailing block bytes")
+        for view, kpos, kend, vpos, vend in self._iter_record_spans(blocks):
+            yield bytes(view[kpos:kend]), bytes(view[vpos:vend])
 
     def __iter__(self) -> Iterator[Tuple[Record, Record]]:
         return self.iter_records()
 
     def iter_records(
-        self, blocks: Optional[List[BlockInfo]] = None
+        self,
+        blocks: Optional[List[BlockInfo]] = None,
+        lazy_values: bool = False,
+        field_counter: Optional[FieldDecodeCounter] = None,
+        lazy_keys: bool = False,
     ) -> Iterator[Tuple[Record, Record]]:
-        """Yield decoded (key, value) record pairs."""
-        for kraw, vraw in self.iter_raw(blocks):
-            yield self.key_schema.decode(kraw), self.value_schema.decode(vraw)
+        """Yield decoded (key, value) record pairs.
+
+        With ``lazy_values=True`` and a transparent value schema, values
+        come back as :class:`~repro.storage.serialization.LazyRecord` --
+        field boundaries scanned, nothing materialized -- and
+        ``field_counter`` tallies the value fields the consumer actually
+        decodes.  ``lazy_keys=True`` does the same for keys (without the
+        counter: the ``fields_deserialized`` metric has always charged
+        value fields only); mappers that ignore their input key then
+        never pay its decode.  Both paths decode straight out of the
+        shared block buffer.
+        """
+        key_schema = self.key_schema
+        value_schema = self.value_schema
+        if lazy_keys and key_schema.transparent:
+            key_decode = key_schema.decode_lazy
+        else:
+            key_decode = key_schema.decode
+        if lazy_values and value_schema.transparent:
+            for view, kpos, kend, vpos, vend in self._iter_record_spans(blocks):
+                yield (
+                    key_decode(view, kpos, kend),
+                    value_schema.decode_lazy(view, vpos, vend, field_counter),
+                )
+        else:
+            value_decode = value_schema.decode
+            for view, kpos, kend, vpos, vend in self._iter_record_spans(blocks):
+                yield key_decode(view, kpos, kend), value_decode(view, vpos, vend)
 
     def count_records(self) -> int:
         """Total record count from block headers (no payload reads)."""

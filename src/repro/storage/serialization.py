@@ -126,31 +126,39 @@ def _encode_value(ftype: FieldType, value: Any, out: bytearray) -> None:
         raise SerializationError(f"unknown field type {ftype}")
 
 
-def _decode_value(ftype: FieldType, buf: bytes, pos: int) -> Tuple[Any, int]:
-    """Decode one field value from ``buf`` at ``pos``; return (value, next)."""
+def _decode_value(ftype: FieldType, buf: Any, pos: int,
+                  end: Optional[int] = None) -> Tuple[Any, int]:
+    """Decode one field value from ``buf`` at ``pos``; return (value, next).
+
+    ``buf`` may be ``bytes`` or a ``memoryview`` over a larger block
+    buffer; ``end`` bounds the decode window (default ``len(buf)``), so
+    block readers decode records in place without slicing them out.
+    """
+    if end is None:
+        end = len(buf)
     if ftype in (FieldType.INT, FieldType.LONG):
-        return varint.decode_svarint(buf, pos)
+        return varint.decode_svarint(buf, pos, end)
     if ftype is FieldType.DOUBLE:
-        end = pos + 8
-        if end > len(buf):
+        stop = pos + 8
+        if stop > end:
             raise SerializationError("truncated double field")
-        return struct.unpack_from("<d", buf, pos)[0], end
+        return struct.unpack_from("<d", buf, pos)[0], stop
     if ftype is FieldType.BOOL:
-        if pos >= len(buf):
+        if pos >= end:
             raise SerializationError("truncated bool field")
         return buf[pos] != 0, pos + 1
     if ftype is FieldType.STRING:
-        length, pos = varint.decode_uvarint(buf, pos)
-        end = pos + length
-        if end > len(buf):
+        length, pos = varint.decode_uvarint(buf, pos, end)
+        stop = pos + length
+        if stop > end:
             raise SerializationError("truncated string field")
-        return buf[pos:end].decode("utf-8"), end
+        return str(buf[pos:stop], "utf-8"), stop
     if ftype is FieldType.BYTES:
-        length, pos = varint.decode_uvarint(buf, pos)
-        end = pos + length
-        if end > len(buf):
+        length, pos = varint.decode_uvarint(buf, pos, end)
+        stop = pos + length
+        if stop > end:
             raise SerializationError("truncated bytes field")
-        return buf[pos:end], end
+        return bytes(buf[pos:stop]), stop
     raise SerializationError(f"unknown field type {ftype}")  # pragma: no cover
 
 
@@ -234,6 +242,144 @@ class Record:
             f"{f.name}={v!r}" for f, v in zip(self._schema.fields, self._values)
         )
         return f"{self._schema.name}({inner})"
+
+
+class FieldDecodeCounter:
+    """Mutable tally of fields actually materialized by lazy records.
+
+    Input readers hand one counter to every :class:`LazyRecord` they
+    produce; after the split is drained, ``count`` is the number of field
+    decodes the map phase truly paid for, which is what the
+    ``fields_deserialized`` metric charges on lazy (projection-optimized)
+    scans.
+    """
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+
+#: Placeholder marking a lazy record field that has not been decoded yet.
+_UNDECODED = object()
+
+#: Field types whose encoding is a bare zigzag varint.
+_VARINT_TYPES = (FieldType.INT, FieldType.LONG)
+
+
+class LazyRecord(Record):
+    """A record that decodes fields on first attribute access.
+
+    Construction scans the encoded buffer once to find field boundaries
+    (cheap: continuation bits and length prefixes only) and defers value
+    materialization -- UTF-8 decoding, zigzag arithmetic, float unpacking,
+    object allocation -- until a field is actually read.  A mapper that
+    touches two of nine fields pays for two decodes; the rest are never
+    built.  This is the CPU half of the paper's Section 2.1 projection
+    claim: the bytes an access pattern skips should cost nothing to
+    deserialize, not just nothing to store.
+
+    Lazy records are drop-in :class:`Record` substitutes: equality,
+    hashing, ``as_tuple``, shuffle sort keys and serialization all
+    materialize on demand and behave identically.  Pickling (e.g. into
+    parallel-runner spill files) materializes every field and reduces to a
+    plain :class:`Record`, so the buffer never crosses process boundaries.
+    """
+
+    __slots__ = ("_buf", "_offsets", "_counter", "estimated_size")
+
+    def __init__(self, schema: "Schema", buf: Any, offsets: Sequence[int],
+                 counter: Optional[FieldDecodeCounter] = None,
+                 estimated_size: int = 0):
+        object.__setattr__(self, "_schema", schema)
+        object.__setattr__(self, "_values",
+                           [_UNDECODED] * len(schema.fields))
+        object.__setattr__(self, "_buf", buf)
+        object.__setattr__(self, "_offsets", offsets)
+        object.__setattr__(self, "_counter", counter)
+        #: estimate_size()-equivalent of the full record, computed during
+        #: the boundary scan so byte accounting never forces a decode
+        object.__setattr__(self, "estimated_size", estimated_size)
+
+    def _materialize(self, idx: int) -> Any:
+        offsets = self._offsets
+        value, _pos = _decode_value(
+            self._schema.fields[idx].ftype,
+            self._buf,
+            offsets[idx],
+            offsets[idx + 1],
+        )
+        self._values[idx] = value
+        counter = self._counter
+        if counter is not None:
+            counter.count += 1
+        return value
+
+    def __getattr__(self, name: str) -> Any:
+        idx = self._schema.field_index(name)
+        if idx is None:
+            raise FieldNotPresentError(
+                f"record of schema {self._schema.name!r} has no field {name!r}"
+            )
+        value = self._values[idx]
+        if value is _UNDECODED:
+            value = self._materialize(idx)
+        return value
+
+    @property
+    def materialized_fields(self) -> int:
+        """How many fields have been decoded so far (test/metric hook)."""
+        values = self._values
+        if type(values) is tuple:
+            return len(values)
+        return sum(1 for v in values if v is not _UNDECODED)
+
+    def as_tuple(self) -> Tuple[Any, ...]:
+        values = self._values
+        if type(values) is tuple:
+            return values
+        for idx, value in enumerate(values):
+            if value is _UNDECODED:
+                self._materialize(idx)
+        frozen = tuple(values)
+        # Fully decoded: freeze the values and release the block buffer.
+        object.__setattr__(self, "_values", frozen)
+        object.__setattr__(self, "_buf", None)
+        return frozen
+
+    def get(self, name: str, default: Any = None) -> Any:
+        idx = self._schema.field_index(name)
+        if idx is None:
+            return default
+        value = self._values[idx]
+        if value is _UNDECODED:
+            value = self._materialize(idx)
+        return value
+
+    def replace(self, **updates: Any) -> "Record":
+        self.as_tuple()
+        return super().replace(**updates)
+
+    def to_dict(self) -> Dict[str, Any]:
+        self.as_tuple()
+        return super().to_dict()
+
+    def __reduce__(self) -> Tuple[Any, ...]:
+        return (Record, (self._schema, self.as_tuple()))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Record)
+            and self._schema.name == other._schema.name
+            and self.as_tuple() == other.as_tuple()
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._schema.name, self.as_tuple()))
+
+    def __repr__(self) -> str:
+        self.as_tuple()
+        return super().__repr__()
 
 
 class Schema:
@@ -330,18 +476,80 @@ class Schema:
             _encode_value(f.ftype, value, out)
         return bytes(out)
 
-    def decode(self, buf: bytes) -> Record:
-        """Deserialize a record previously produced by :meth:`encode`."""
+    def decode(self, buf: Any, start: int = 0,
+               end: Optional[int] = None) -> Record:
+        """Deserialize a record previously produced by :meth:`encode`.
+
+        ``buf`` may be ``bytes`` or a ``memoryview``; ``start``/``end``
+        select the record's span inside a larger block buffer so block
+        readers never slice per record.
+        """
+        if end is None:
+            end = len(buf)
         values: List[Any] = []
-        pos = 0
+        pos = start
         for f in self.fields:
-            value, pos = _decode_value(f.ftype, buf, pos)
+            value, pos = _decode_value(f.ftype, buf, pos, end)
             values.append(value)
-        if pos != len(buf):
+        if pos != end:
             raise SerializationError(
-                f"{len(buf) - pos} trailing bytes decoding schema {self.name!r}"
+                f"{end - pos} trailing bytes decoding schema {self.name!r}"
             )
         return Record(self, values)
+
+    def decode_lazy(self, buf: Any, start: int = 0,
+                    end: Optional[int] = None,
+                    counter: Optional[FieldDecodeCounter] = None) -> Record:
+        """Boundary-scan ``buf`` and return a :class:`LazyRecord`.
+
+        One pass locates every field's span (no values are built) and
+        accumulates the record's :func:`~repro.mapreduce.keyspace.estimate_size`
+        equivalent; fields materialize individually on first access,
+        ticking ``counter`` so readers can report decode work actually
+        performed.  Raises exactly like :meth:`decode` on truncated or
+        trailing bytes.
+        """
+        if end is None:
+            end = len(buf)
+        fields = self.fields
+        offsets = [0] * (len(fields) + 1)
+        # estimate_size() of a record is 1 + its per-field estimates; for
+        # every fixed-width and varint field the estimate equals the span,
+        # and for length-prefixed fields it is payload + 1.
+        est = 1
+        pos = start
+        skip = varint.skip_uvarint
+        for i, f in enumerate(fields):
+            offsets[i] = pos
+            ftype = f.ftype
+            if ftype in _VARINT_TYPES:
+                npos = skip(buf, pos, end)
+                est += npos - pos
+            elif ftype is FieldType.DOUBLE:
+                npos = pos + 8
+                if npos > end:
+                    raise SerializationError("truncated double field")
+                est += 8
+            elif ftype is FieldType.BOOL:
+                npos = pos + 1
+                if npos > end:
+                    raise SerializationError("truncated bool field")
+                est += 1
+            else:  # STRING / BYTES
+                length, lpos = varint.decode_uvarint(buf, pos, end)
+                npos = lpos + length
+                if npos > end:
+                    raise SerializationError(
+                        f"truncated {ftype.value} field"
+                    )
+                est += length + 1
+            pos = npos
+        offsets[len(fields)] = pos
+        if pos != end:
+            raise SerializationError(
+                f"{end - pos} trailing bytes decoding schema {self.name!r}"
+            )
+        return LazyRecord(self, buf, offsets, counter, est)
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable description (used in file headers/catalog)."""
@@ -421,14 +629,35 @@ class OpaqueSchema(Schema):
             raise SerializationError("opaque encoder must return bytes")
         return bytes(raw)
 
-    def decode(self, buf: bytes) -> Record:
+    def decode(self, buf: Any, start: int = 0,
+               end: Optional[int] = None) -> Record:
         if self._decoder is None:
             raise SerializationError(
                 f"opaque schema {self.name!r} has no decoder"
             )
+        if start != 0 or (end is not None and end != len(buf)) \
+                or not isinstance(buf, bytes):
+            # User codecs see exactly the bytes they wrote, never a window
+            # into a shared block buffer.
+            end = len(buf) if end is None else end
+            buf = bytes(buf[start:end])
         record = self._decoder(self, buf)
         if not isinstance(record, Record):
             raise SerializationError("opaque decoder must return a Record")
+        return record
+
+    def decode_lazy(self, buf: Any, start: int = 0,
+                    end: Optional[int] = None,
+                    counter: Optional[FieldDecodeCounter] = None) -> Record:
+        """Opaque layouts hide field boundaries; decode eagerly.
+
+        Every field the codec builds counts as materialized work, matching
+        the paper's observation that opaque serialization defeats
+        projection savings.
+        """
+        record = self.decode(buf, start, end)
+        if counter is not None:
+            counter.count += max(1, len(record.schema.fields))
         return record
 
     def numeric_field_names(self) -> List[str]:

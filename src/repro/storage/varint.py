@@ -5,14 +5,18 @@ a size-sensitive representation" (Section 2.1).  This module provides that
 representation: LEB128-style unsigned varints, plus the zigzag transform so
 that small *negative* deltas also encode compactly.
 
-All functions operate on ``bytes`` / ``bytearray`` and plain ``int``; they
-are the innermost loop of the delta codec, so they avoid any object
-allocation beyond the output buffer itself.
+All functions operate on ``bytes`` / ``bytearray`` / ``memoryview`` and
+plain ``int``; they are the innermost loop of every record codec, so they
+avoid any object allocation beyond the output buffer itself.  The decode
+helpers take ``(buf, offset, end)`` so block-level readers can walk a
+whole block buffer in place -- no per-record slicing --  and
+:func:`skip_uvarint` advances past a varint without materializing its
+value (the lazy-record boundary scan).
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Any, Tuple
 
 from repro.exceptions import SerializationError
 
@@ -45,15 +49,19 @@ def encode_uvarint(value: int) -> bytes:
             return bytes(out)
 
 
-def decode_uvarint(buf: bytes, offset: int = 0) -> Tuple[int, int]:
+def decode_uvarint(buf: Any, offset: int = 0,
+                   end: int = None) -> Tuple[int, int]:
     """Decode a varint from ``buf`` at ``offset``.
 
-    Returns ``(value, next_offset)``.
+    ``end`` bounds the decode window (default: ``len(buf)``), so callers
+    can decode inside a record's span of a larger block buffer without
+    slicing it out first.  Returns ``(value, next_offset)``.
     """
     result = 0
     shift = 0
     pos = offset
-    end = len(buf)
+    if end is None:
+        end = len(buf)
     while True:
         if pos >= end:
             raise SerializationError("truncated varint")
@@ -66,6 +74,60 @@ def decode_uvarint(buf: bytes, offset: int = 0) -> Tuple[int, int]:
             if result > _UINT64_MAX:
                 raise SerializationError("varint overflows 64 bits")
             return result, pos
+        shift += 7
+
+
+def skip_uvarint(buf: Any, offset: int = 0, end: int = None) -> int:
+    """Advance past one varint without decoding it; return the next offset.
+
+    This is the boundary-scan primitive behind lazy record decoding: it
+    touches each byte's continuation bit but never assembles the value.
+    It rejects exactly what :func:`decode_uvarint` rejects -- truncation,
+    over-length, and 64-bit overflow (a terminating tenth byte may only
+    carry bit 63) -- so lazy and eager scans fail identically on corrupt
+    input.
+    """
+    pos = offset
+    if end is None:
+        end = len(buf)
+    while True:
+        if pos >= end:
+            raise SerializationError("truncated varint")
+        if pos - offset >= MAX_VARINT_LEN:
+            raise SerializationError("varint longer than 10 bytes")
+        byte = buf[pos]
+        if not byte & 0x80:
+            if pos - offset == MAX_VARINT_LEN - 1 and byte & 0x7E:
+                raise SerializationError("varint overflows 64 bits")
+            return pos + 1
+        pos += 1
+
+
+def read_uvarint_stream(fileobj: Any) -> Tuple[int, int]:
+    """Read one varint from a binary file object; return (value, n_bytes).
+
+    Shared by every block-file reader (record, delta, dictionary) for
+    header and block-framing varints; enforces the same
+    :data:`MAX_VARINT_LEN` bound as the buffer decoders so corrupt framing
+    cannot spin the reader forever.
+    """
+    result = 0
+    shift = 0
+    n = 0
+    read = fileobj.read
+    while True:
+        raw = read(1)
+        if not raw:
+            raise SerializationError("truncated varint")
+        n += 1
+        if n > MAX_VARINT_LEN:
+            raise SerializationError("varint longer than 10 bytes")
+        byte = raw[0]
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            if result > _UINT64_MAX:
+                raise SerializationError("varint overflows 64 bits")
+            return result, n
         shift += 7
 
 
@@ -88,18 +150,25 @@ def encode_svarint(value: int) -> bytes:
     return encode_uvarint(zigzag_encode(value))
 
 
-def decode_svarint(buf: bytes, offset: int = 0) -> Tuple[int, int]:
+def decode_svarint(buf: Any, offset: int = 0,
+                   end: int = None) -> Tuple[int, int]:
     """Decode a signed zigzag varint.  Returns ``(value, next_offset)``."""
-    raw, pos = decode_uvarint(buf, offset)
+    raw, pos = decode_uvarint(buf, offset, end)
     return zigzag_decode(raw), pos
 
 
 def uvarint_len(value: int) -> int:
-    """Number of bytes :func:`encode_uvarint` uses for ``value``."""
+    """Number of bytes :func:`encode_uvarint` uses for ``value``.
+
+    Computed from the bit length directly (one C-level call) rather than
+    the shift loop the encoder uses; this sits inside the shuffle's
+    per-pair size accounting.
+    """
     if value < 0:
         raise SerializationError("uvarint_len of negative value")
-    length = 1
-    while value >= 0x80:
-        value >>= 7
-        length += 1
-    return length
+    return max(1, (value.bit_length() + 6) // 7)
+
+
+def svarint_len(value: int) -> int:
+    """Number of bytes :func:`encode_svarint` uses for ``value``."""
+    return max(1, (zigzag_encode(value).bit_length() + 6) // 7)

@@ -129,6 +129,31 @@ class TestSelectionIndexInput:
         with pytest.raises(JobConfigError):
             SelectionIndexInput(index_path, [])
 
+    def test_truncated_index_entry_raises(self, tmp_path):
+        # A framed entry whose key-length prefix claims more bytes than
+        # the entry holds must fail loudly, never yield a truncated key.
+        from repro.exceptions import CorruptFileError
+        from repro.storage import varint as vi
+
+        path = str(tmp_path / "bad.bt")
+        good = frame_index_entry(
+            STRING_SCHEMA.encode(STRING_SCHEMA.make("k")),
+            WEBPAGE.encode(WEBPAGE.make("u", 1, "c")),
+        )
+        klen, pos = vi.decode_uvarint(good, 0)
+        truncated = good[:pos + klen - 1]  # cut inside the framed key
+        builder = BTreeBuilder(path, metadata={
+            "key_schema": STRING_SCHEMA.to_dict(),
+            "value_schema": WEBPAGE.to_dict(),
+            "key_field": "rank",
+        })
+        builder.add(encode_key(FieldType.INT, 1), truncated)
+        builder.finish()
+        source = SelectionIndexInput(path, [KeyRange(None, None)])
+        [split] = source.splits(1)
+        with pytest.raises(CorruptFileError, match="truncated index entry"):
+            list(source.open(split))
+
     def test_bytes_read_less_than_full_file(self, index_path, webpage_file):
         import os
 
