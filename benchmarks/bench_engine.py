@@ -1,0 +1,391 @@
+#!/usr/bin/env python
+"""Tracked engine benchmark: pool reuse, DAG stage waves, cached analysis.
+
+Companion to ``bench_hotpath.py`` (which guards the scan/decode fast
+path): this harness guards the *engine layer* -- the machinery
+:mod:`repro.engine` keeps warm between submissions -- on the real clock.
+It is the perf trajectory the repo tracks in ``BENCH_engine.json`` at the
+repository root; CI runs it at a reduced scale and fails when pool reuse
+stops paying for itself.
+
+Workloads:
+
+* **repeated_small_jobs** -- the service-shaped workload the engine
+  exists for: many small parallel jobs submitted back to back.  The
+  baseline pays per-job pool construction (a fresh
+  :class:`~repro.engine.service.ExecutionEngine` built and shut down
+  around every job, which is exactly what the pre-engine runner did);
+  the engine side reuses one persistent worker pool.  The acceptance
+  gate (``--min-speedup``, tracked at >=1.3x) applies here.
+* **diamond_pipeline** -- head -> (left, right) -> tail, where left and
+  right are independent.  Sequential stage order is compared against
+  ``scheduler='dag'`` wave dispatch.  Outputs must be byte-identical
+  always; the wall-clock comparison is only *gated* on hosts with >= 4
+  CPUs (two concurrent stages x 2 workers each) -- smaller hosts record
+  the measurement and report the gate as skipped.
+* **cached_analysis** -- resubmitting identical mapper bytecode through
+  one system; reports the analyzer-cache speedup (no gate: covered by
+  unit tests, tracked here for trajectory).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py             # full run
+    PYTHONPATH=src python benchmarks/bench_engine.py --scale 0.5 \
+        --min-speedup 1.15                                       # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.manimal import Manimal
+from repro.core.pipeline import ManimalPipeline
+from repro.engine import ExecutionEngine
+from repro.mapreduce import InMemoryInput, JobConf, RecordFileInput
+from repro.mapreduce.api import Mapper, Reducer
+from repro.mapreduce.parallel import ParallelJobRunner
+from repro.mapreduce.runtime import LocalJobRunner
+from repro.storage.serialization import INT_SCHEMA, STRING_SCHEMA
+from repro.workloads.datagen import generate_webpages
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_engine.json")
+
+#: Baseline shape at --scale 1.0.
+BASE_SIZES = {
+    "small_job_records": 2_000,
+    "small_job_count": 15,
+    "pipeline_webpages": 6_000,
+    "analysis_submissions": 25,
+}
+
+
+# -- module-level job code: picklable, so jobs ride the persistent pool ------
+
+
+class ModMapper(Mapper):
+    def map(self, key, value, ctx):
+        ctx.emit(value % 10, value)
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, sum(values))
+
+
+class HeadMapper(Mapper):
+    """Scan webpages, keep every row (url, rank) -- feeds the diamond."""
+
+    def map(self, key, value, ctx):
+        ctx.emit(value.url, value.rank)
+
+
+class LeftMapper(Mapper):
+    """CPU-shaped branch work over the (url, rank) intermediate."""
+
+    def map(self, key, value, ctx):
+        rank = value.value
+        acc = 0
+        for i in range(40):
+            acc = (acc + rank * i) % 9973
+        ctx.emit(rank % 50, acc)
+
+
+class RightMapper(Mapper):
+    def map(self, key, value, ctx):
+        rank = value.value
+        acc = 1
+        for i in range(1, 41):
+            acc = (acc * (rank + i)) % 9973
+        ctx.emit(rank % 50, acc)
+
+
+class TailMapper(Mapper):
+    """Fan-in over both branch outputs (int key, int value records)."""
+
+    def map(self, key, value, ctx):
+        ctx.emit(key.value, value.value)
+
+
+def _small_job(i: int, records: int) -> JobConf:
+    return JobConf(
+        name=f"small-{i}",
+        mapper=ModMapper,
+        reducer=SumReducer,
+        inputs=[InMemoryInput([(k, k * 3) for k in range(records)])],
+        num_reducers=4,
+    )
+
+
+def _best_of(run, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# -- workload 1: repeated small jobs -----------------------------------------
+
+
+def bench_repeated_small_jobs(records: int, jobs: int,
+                              repeats: int) -> Dict[str, Any]:
+    confs = [_small_job(i, records) for i in range(jobs)]
+    expected = [LocalJobRunner().run(conf).outputs for conf in confs]
+
+    def run_cold() -> None:
+        # Per-job pool construction: exactly the pre-engine behavior
+        # (ParallelJobRunner built and tore down a pool in every run()).
+        for conf in confs:
+            engine = ExecutionEngine()
+            try:
+                ParallelJobRunner(num_workers=2, engine=engine).run(conf)
+            finally:
+                engine.shutdown()
+
+    shared = ExecutionEngine()
+    runner = ParallelJobRunner(num_workers=2, engine=shared)
+
+    def run_warm() -> None:
+        for conf in confs:
+            runner.run(conf)
+
+    try:
+        # Byte-identity first (also warms the shared pool).
+        warm_outputs = [runner.run(conf).outputs for conf in confs]
+        identical = warm_outputs == expected
+        if not identical:
+            raise AssertionError(
+                "repeated_small_jobs: pooled outputs differ from sequential"
+            )
+        cold = _best_of(run_cold, repeats)
+        warm = _best_of(run_warm, repeats)
+        stats = shared.pool.stats()
+    finally:
+        shared.shutdown()
+
+    return {
+        "jobs": jobs,
+        "records_per_job": records,
+        "per_job_pool_seconds": round(cold, 4),
+        "engine_reuse_seconds": round(warm, 4),
+        "speedup": round(cold / warm, 2) if warm > 0 else None,
+        "byte_identical": identical,
+        "pools_created_by_shared_engine": stats["pools_created"],
+    }
+
+
+# -- workload 2: diamond pipeline --------------------------------------------
+
+
+def _diamond_stages(src: str, workdir: str) -> List[JobConf]:
+    mid = os.path.join(workdir, "mid.rf")
+    out_l = os.path.join(workdir, "left.rf")
+    out_r = os.path.join(workdir, "right.rf")
+    record_out = dict(output_key_schema=INT_SCHEMA,
+                      output_value_schema=INT_SCHEMA)
+    return [
+        JobConf(name="head", mapper=HeadMapper, reducer=None,
+                inputs=[RecordFileInput(src)], output_path=mid,
+                output_key_schema=STRING_SCHEMA,
+                output_value_schema=INT_SCHEMA),
+        JobConf(name="left", mapper=LeftMapper, reducer=SumReducer,
+                inputs=[RecordFileInput(mid)], output_path=out_l,
+                **record_out),
+        JobConf(name="right", mapper=RightMapper, reducer=SumReducer,
+                inputs=[RecordFileInput(mid)], output_path=out_r,
+                **record_out),
+        JobConf(name="tail", mapper=TailMapper, reducer=SumReducer,
+                inputs=[RecordFileInput(out_l), RecordFileInput(out_r)]),
+    ]
+
+
+def bench_diamond_pipeline(webpages: int, repeats: int,
+                           workdir: str) -> Dict[str, Any]:
+    src = os.path.join(workdir, "diamond_src.rf")
+    generate_webpages(src, webpages)
+    cpus = os.cpu_count() or 1
+    engine = ExecutionEngine()
+    system = Manimal(os.path.join(workdir, "diamond_cat"), engine=engine)
+
+    def pipeline() -> ManimalPipeline:
+        return ManimalPipeline(system, _diamond_stages(src, workdir))
+
+    try:
+        sequential = pipeline().submit(runner=2)
+        dag = pipeline().submit(runner=2, scheduler="dag")
+        identical = all(
+            d.outcome.result.outputs == s.outcome.result.outputs
+            and d.outcome.result.counters.to_dict()
+            == s.outcome.result.counters.to_dict()
+            for s, d in zip(sequential, dag)
+        )
+        if not identical:
+            raise AssertionError(
+                "diamond_pipeline: DAG outputs differ from sequential"
+            )
+        waves = pipeline().dag().waves()
+        seq_wall = _best_of(lambda: pipeline().submit(runner=2), repeats)
+        dag_wall = _best_of(
+            lambda: pipeline().submit(runner=2, scheduler="dag"), repeats
+        )
+    finally:
+        engine.shutdown()
+
+    return {
+        "webpages": webpages,
+        "waves": waves,
+        "sequential_seconds": round(seq_wall, 4),
+        "dag_seconds": round(dag_wall, 4),
+        "speedup": round(seq_wall / dag_wall, 2) if dag_wall > 0 else None,
+        "byte_identical": identical,
+        "cpus": cpus,
+        # Two concurrent stages x 2 workers need >= 4 CPUs to show a
+        # material wall-clock win; smaller hosts report, not gate.
+        "wall_gate_applies": cpus >= 4,
+    }
+
+
+# -- workload 3: cached analysis ---------------------------------------------
+
+
+def bench_cached_analysis(submissions: int, workdir: str) -> Dict[str, Any]:
+    src = os.path.join(workdir, "analysis_src.rf")
+    generate_webpages(src, 500)
+    conf = JobConf(name="scan", mapper=HeadMapper, reducer=SumReducer,
+                   inputs=[RecordFileInput(src)])
+
+    engine = ExecutionEngine()
+    system = Manimal(os.path.join(workdir, "analysis_cat"), engine=engine)
+    try:
+        start = time.perf_counter()
+        for _ in range(submissions):
+            system.analyze(conf)
+            engine.clear_caches()
+        uncached = time.perf_counter() - start
+
+        system.analyze(conf)  # prime
+        start = time.perf_counter()
+        for _ in range(submissions):
+            system.analyze(conf)
+        cached = time.perf_counter() - start
+        stats = engine.analysis_cache.stats()
+    finally:
+        engine.shutdown()
+
+    return {
+        "submissions": submissions,
+        "uncached_seconds": round(uncached, 4),
+        "cached_seconds": round(cached, 4),
+        "speedup": round(uncached / cached, 2) if cached > 0 else None,
+        "cache_hits": stats["hits"],
+    }
+
+
+# -- harness -----------------------------------------------------------------
+
+
+def run_suite(scale: float, repeats: int) -> Dict[str, Any]:
+    sizes = {
+        "small_job_records": max(200, int(BASE_SIZES["small_job_records"]
+                                          * scale)),
+        "small_job_count": max(4, int(BASE_SIZES["small_job_count"] * scale)),
+        "pipeline_webpages": max(500, int(BASE_SIZES["pipeline_webpages"]
+                                          * scale)),
+        "analysis_submissions": max(5, int(BASE_SIZES["analysis_submissions"]
+                                           * scale)),
+    }
+    report: Dict[str, Any] = {
+        "benchmark": "engine",
+        "scale": scale,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+        "workloads": {},
+    }
+    with tempfile.TemporaryDirectory(prefix="bench-engine-") as workdir:
+        report["workloads"]["repeated_small_jobs"] = bench_repeated_small_jobs(
+            sizes["small_job_records"], sizes["small_job_count"], repeats
+        )
+        report["workloads"]["diamond_pipeline"] = bench_diamond_pipeline(
+            sizes["pipeline_webpages"], repeats, workdir
+        )
+        report["workloads"]["cached_analysis"] = bench_cached_analysis(
+            sizes["analysis_submissions"], workdir
+        )
+
+    small = report["workloads"]["repeated_small_jobs"]
+    diamond = report["workloads"]["diamond_pipeline"]
+    report["summary"] = {
+        "pool_reuse_speedup": small["speedup"],
+        "dag_speedup": diamond["speedup"],
+        "dag_wall_gate_applies": diamond["wall_gate_applies"],
+        "analysis_cache_speedup":
+            report["workloads"]["cached_analysis"]["speedup"],
+        "all_byte_identical": bool(
+            small["byte_identical"] and diamond["byte_identical"]
+        ),
+    }
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale factor (1.0 = tracked baseline)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed runs per side; best wall-clock wins")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help="where to write the JSON report")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless repeated_small_jobs reaches this "
+                             "pool-reuse speedup (and, on >=4-CPU hosts, "
+                             "the diamond pipeline beats sequential)")
+    args = parser.parse_args(argv)
+
+    report = run_suite(args.scale, args.repeats)
+    with open(args.output, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    print(f"wrote {args.output}")
+    for name, w in report["workloads"].items():
+        print(f"  {name:22s} speedup {w['speedup'] or 'n/a':>6}")
+
+    if args.min_speedup is not None:
+        failures = []
+        reuse = report["summary"]["pool_reuse_speedup"]
+        if reuse is None or reuse < args.min_speedup:
+            failures.append(
+                f"pool reuse speedup {reuse} < required {args.min_speedup}"
+            )
+        if report["summary"]["dag_wall_gate_applies"]:
+            dag = report["summary"]["dag_speedup"]
+            if dag is None or dag <= 1.0:
+                failures.append(
+                    f"DAG pipeline not faster than sequential ({dag})"
+                )
+        else:
+            print(
+                "SKIP: DAG wall-clock gate needs >= 4 CPUs "
+                f"(host has {report['cpus']}); measured speedup "
+                f"{report['summary']['dag_speedup']} recorded, not gated"
+            )
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(f"OK: pool reuse speedup {reuse} >= {args.min_speedup}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,9 +60,15 @@ class Session:
         rule-based one.
     :param num_reducers: reduce partition count for lowered stages.
     :param parallelism: default worker-process count for every query this
-        session runs; ``None`` or 1 means sequential.  Individual actions
-        may override per call (``ds.collect(parallelism=8)``).  Results
-        are byte-identical either way.
+        session runs; ``None`` or 1 means sequential, 0 auto-detects the
+        CPU count.  Individual actions may override per call
+        (``ds.collect(parallelism=8)``).  Results are byte-identical
+        either way.
+    :param engine: the :class:`~repro.engine.service.ExecutionEngine`
+        this session's system runs on.  Defaults to the process-wide
+        shared engine, so sessions reuse one persistent worker pool and
+        one analyzer/planner cache; pass a fresh ``ExecutionEngine()``
+        to isolate.
     """
 
     def __init__(
@@ -140,7 +146,8 @@ class Session:
 
     def run(self, dataset: Dataset, build_indexes: bool = False,
             allowed_kinds: Optional[Sequence[str]] = None,
-            parallelism: Optional[int] = None) -> DatasetResult:
+            parallelism: Optional[int] = None,
+            scheduler: Optional[str] = None) -> DatasetResult:
         """Execute a Dataset: lower, wire stages, submit with hints.
 
         :param dataset: the query to execute (lowered freshly, so each run
@@ -150,13 +157,16 @@ class Session:
         :param allowed_kinds: restrict which index kinds may be built.
         :param parallelism: per-run worker count overriding the session
             default; every stage of the lowered chain runs its map/reduce
-            tasks across that many processes.
+            tasks across that many processes (0 = auto-detect CPUs).
+        :param scheduler: ``'sequential'`` (default) or ``'dag'`` --
+            dispatch independent stages (e.g. the two sides of a join)
+            concurrently through the engine; results are byte-identical.
         :returns: a :class:`~repro.api.dataset.DatasetResult`.
         """
         plan = self.lower(dataset)
         outcomes = self._pipeline_for(plan).submit(
             build_indexes=build_indexes, allowed_kinds=allowed_kinds,
-            runner=parallelism,
+            runner=parallelism, scheduler=scheduler,
         )
         return DatasetResult(plan=plan, stages=outcomes)
 
@@ -185,6 +195,15 @@ class Session:
         return result
 
     # -- admin / introspection ---------------------------------------------------
+
+    @property
+    def engine(self):
+        """The execution engine this session's system runs on.
+
+        ``engine.stats()`` exposes worker-pool scheduling counters and
+        analyzer/planner cache hit rates.
+        """
+        return self.system.engine
 
     def build_indexes(self, dataset: Dataset,
                       allowed_kinds: Optional[Sequence[str]] = None

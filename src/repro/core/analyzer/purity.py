@@ -96,6 +96,14 @@ class KnowledgeBase:
     def function_impl(self, name: str) -> Optional[Callable[..., Any]]:
         return PURE_FUNCTION_IMPLS.get(name)
 
+    def fingerprint(self) -> tuple:
+        """Content version of this KB (keys the engine's analysis cache).
+
+        Two KBs with the same purity knowledge fingerprint identically,
+        so analyses cached under one ``Manimal`` serve another.
+        """
+        return (tuple(sorted(self._methods)), tuple(sorted(self._functions)))
+
     def extended(self, methods: FrozenSet[str] = frozenset(),
                  functions: FrozenSet[str] = frozenset()) -> "KnowledgeBase":
         """A copy of this KB with additional pure methods/functions."""

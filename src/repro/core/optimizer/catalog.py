@@ -9,16 +9,40 @@ The catalog is a directory holding ``catalog.json`` plus the index files
 themselves.  Entries record enough metadata for applicability checks
 (source file, index kind, indexed field, kept fields, delta fields) and
 for the experiments' space-overhead accounting (byte sizes).
+
+Because the catalog is the one piece of state concurrent engine
+submissions share, mutation is crash- and concurrency-safe: every write
+lands via a uniquely named temp file + atomic ``os.replace`` (a reader
+never observes a half-written registry), mutating operations take an
+advisory ``flock`` on ``.catalog.lock`` and re-read the registry first
+(two processes sharing a directory serialize instead of losing each
+other's updates), reads retry on a torn/partial file, and a process-local
+re-entrant lock makes one ``Catalog`` safe to share across threads
+(concurrent pipeline stages do).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import tempfile
+import threading
+import time
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
+
+try:  # pragma: no cover - fcntl is POSIX-only; mirrors a Hadoop setting
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
 
 from repro.exceptions import CatalogError
+
+#: Attempts to read a registry that looks torn mid-read (non-atomic
+#: filesystems, e.g. NFS) before giving up.
+_READ_RETRIES = 5
+_READ_RETRY_SLEEP = 0.02
 
 #: Index kinds, ordered here for reference; planner ranking lives in
 #: :mod:`repro.core.optimizer.planner`.
@@ -92,64 +116,166 @@ class Catalog:
 
     FILENAME = "catalog.json"
 
+    #: allocates a unique, never-reused token per Catalog instance (keys
+    #: the engine's plan cache; ``id()`` could be recycled by the gc)
+    _INSTANCE_SEQ = 0
+    _INSTANCE_SEQ_LOCK = threading.Lock()
+
     def __init__(self, directory: str,
                  space_budget_bytes: Optional[int] = None):
         self.directory = directory
         self.space_budget_bytes = space_budget_bytes
+        with Catalog._INSTANCE_SEQ_LOCK:
+            Catalog._INSTANCE_SEQ += 1
+            #: unique per instance; a plan cached against one Catalog
+            #: object is never served to another (two instances observe
+            #: external registrations at different times)
+            self.instance_token = Catalog._INSTANCE_SEQ
         os.makedirs(directory, exist_ok=True)
         self._path = os.path.join(directory, self.FILENAME)
+        self._lock_path = os.path.join(directory, ".catalog.lock")
+        #: re-entrant: mutation helpers nest under the public operations
+        self._lock = threading.RLock()
         self._entries: Dict[str, IndexEntry] = {}
         self._counter = 0
         self._clock = 0
+        #: bumped whenever the entry *set* changes (register/remove/evict,
+        #: or external changes observed on refresh) -- the engine's plan
+        #: cache keys on it.  LRU touches do not bump it: they never
+        #: change which indexes are applicable.
+        self.generation = 0
         if os.path.exists(self._path):
             self._load()
 
+    # -- locking / consistency ----------------------------------------------
+
+    @contextmanager
+    def _file_lock(self) -> Iterator[None]:
+        """Advisory inter-process lock over catalog mutations."""
+        if fcntl is None:
+            yield
+            return
+        with open(self._lock_path, "a+b") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    @contextmanager
+    def _mutate(self) -> Iterator[None]:
+        """One read-modify-write transaction over the registry.
+
+        Serializes against threads (re-entrant lock) and against other
+        processes (advisory file lock), and re-reads the on-disk registry
+        before applying the mutation so a concurrent engine submission's
+        registration is never silently overwritten.
+        """
+        with self._lock:
+            with self._file_lock():
+                self._refresh()
+                yield
+
+    def _refresh(self) -> None:
+        """Adopt external changes from disk (lock held by caller)."""
+        if not os.path.exists(self._path):
+            return
+        before = sorted(self._entries)
+        self._load()
+        if sorted(self._entries) != before:
+            self.generation += 1
+
     def _load(self) -> None:
-        try:
-            with open(self._path, "r", encoding="utf-8") as f:
-                data = json.load(f)
-        except (OSError, json.JSONDecodeError) as exc:
-            raise CatalogError(f"unreadable catalog {self._path}: {exc}") from exc
-        self._counter = data.get("counter", 0)
-        self._clock = data.get("clock", 0)
+        data = self._read_registry()
+        # Counters only ever grow; keep the max of disk and memory so ids
+        # allocated by this process stay unique even if another process
+        # saved an older counter in between.
+        self._counter = max(self._counter, data.get("counter", 0))
+        self._clock = max(self._clock, data.get("clock", 0))
+        self._entries = {}
         for raw in data.get("entries", []):
             entry = IndexEntry.from_dict(raw)
             self._entries[entry.index_id] = entry
 
+    def _read_registry(self) -> Dict[str, Any]:
+        """Parse ``catalog.json``, retrying on a torn/partial read."""
+        last_error: Optional[Exception] = None
+        for attempt in range(_READ_RETRIES):
+            try:
+                with open(self._path, "r", encoding="utf-8") as f:
+                    return json.load(f)
+            except FileNotFoundError:
+                return {}
+            except json.JSONDecodeError as exc:
+                # Writers replace atomically, so a malformed file is a
+                # non-atomic filesystem mid-write; retry briefly.
+                last_error = exc
+                time.sleep(_READ_RETRY_SLEEP * (attempt + 1))
+            except OSError as exc:
+                raise CatalogError(
+                    f"unreadable catalog {self._path}: {exc}"
+                ) from exc
+        raise CatalogError(
+            f"unreadable catalog {self._path}: {last_error}"
+        ) from last_error
+
     def _save(self) -> None:
+        """Atomically publish the registry (lock held by caller)."""
         data = {
             "counter": self._counter,
             "clock": self._clock,
             "entries": [e.to_dict() for e in self.sorted_entries()],
         }
-        tmp = self._path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as f:
-            json.dump(data, f, indent=2, sort_keys=True)
-        os.replace(tmp, self._path)
+        # Unique temp name per writer: two processes saving concurrently
+        # must not scribble over one shared ".tmp" path.
+        fd, tmp = tempfile.mkstemp(
+            prefix=self.FILENAME + ".", suffix=".tmp", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                json.dump(data, f, indent=2, sort_keys=True)
+            os.replace(tmp, self._path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
 
     # -- mutation ------------------------------------------------------------
 
     def next_index_path(self, kind: str) -> str:
-        """Allocate a fresh path for a new index file."""
-        self._counter += 1
-        safe_kind = kind.replace("+", "_")
-        return os.path.join(self.directory, f"idx_{self._counter:05d}_{safe_kind}")
+        """Allocate a fresh path for a new index file.
+
+        Persisted immediately so two processes building indexes into one
+        catalog directory can never be handed the same path.
+        """
+        with self._mutate():
+            self._counter += 1
+            self._save()
+            safe_kind = kind.replace("+", "_")
+            return os.path.join(
+                self.directory, f"idx_{self._counter:05d}_{safe_kind}"
+            )
 
     def register(self, entry: IndexEntry) -> None:
         if entry.kind not in ALL_KINDS:
             raise CatalogError(f"unknown index kind {entry.kind!r}")
-        if entry.index_id in self._entries:
-            raise CatalogError(f"duplicate index id {entry.index_id!r}")
-        incoming = int(entry.stats.get("index_bytes", 0))
-        if self.space_budget_bytes is not None:
-            if incoming > self.space_budget_bytes:
-                raise CatalogError(
-                    f"index {entry.index_id!r} ({incoming} bytes) exceeds "
-                    f"the catalog space budget ({self.space_budget_bytes})"
-                )
-            self._evict_to_fit(incoming)
-        self._entries[entry.index_id] = entry
-        self._save()
+        with self._mutate():
+            if entry.index_id in self._entries:
+                raise CatalogError(f"duplicate index id {entry.index_id!r}")
+            incoming = int(entry.stats.get("index_bytes", 0))
+            if self.space_budget_bytes is not None:
+                if incoming > self.space_budget_bytes:
+                    raise CatalogError(
+                        f"index {entry.index_id!r} ({incoming} bytes) "
+                        f"exceeds the catalog space budget "
+                        f"({self.space_budget_bytes})"
+                    )
+                self._evict_to_fit(incoming)
+            self._entries[entry.index_id] = entry
+            self.generation += 1
+            self._save()
 
     def _evict_to_fit(self, incoming: int) -> List[IndexEntry]:
         """Drop least-recently-used indexes until ``incoming`` bytes fit."""
@@ -168,37 +294,58 @@ class Catalog:
             except OSError:
                 pass
         if evicted:
+            self.generation += 1
             self._save()
         return evicted
 
     def total_index_bytes(self) -> int:
-        return sum(int(e.stats.get("index_bytes", 0))
-                   for e in self._entries.values())
+        with self._lock:
+            return sum(int(e.stats.get("index_bytes", 0))
+                       for e in self._entries.values())
 
     def touch(self, index_id: str) -> None:
         """Record a plan using this index (feeds LRU eviction)."""
-        entry = self._entries.get(index_id)
-        if entry is None:
-            return
-        self._clock += 1
-        entry.last_used = self._clock
-        entry.use_count += 1
-        self._save()
+        self.touch_many([index_id])
+
+    def touch_many(self, index_ids: List[str]) -> None:
+        """Record one plan's index usages in a single transaction.
+
+        A plan may use several indexes; batching keeps the hot
+        plan/replan path at one lock + one registry write instead of one
+        per index.
+        """
+        with self._mutate():
+            touched = False
+            for index_id in index_ids:
+                entry = self._entries.get(index_id)
+                if entry is None:
+                    continue
+                self._clock += 1
+                entry.last_used = self._clock
+                entry.use_count += 1
+                touched = True
+            if touched:
+                self._save()
 
     def make_entry_id(self) -> str:
-        self._counter += 1
-        return f"index-{self._counter:05d}"
+        with self._mutate():
+            self._counter += 1
+            self._save()
+            return f"index-{self._counter:05d}"
 
     def remove(self, index_id: str) -> None:
-        entry = self._entries.pop(index_id, None)
-        if entry is None:
-            raise CatalogError(f"no index {index_id!r}")
-        self._save()
+        with self._mutate():
+            entry = self._entries.pop(index_id, None)
+            if entry is None:
+                raise CatalogError(f"no index {index_id!r}")
+            self.generation += 1
+            self._save()
 
     # -- queries ----------------------------------------------------------------
 
     def sorted_entries(self) -> List[IndexEntry]:
-        return [self._entries[k] for k in sorted(self._entries)]
+        with self._lock:
+            return [self._entries[k] for k in sorted(self._entries)]
 
     def entries_for(self, source_path: str,
                     kind: Optional[str] = None) -> List[IndexEntry]:
@@ -213,10 +360,12 @@ class Catalog:
         return out
 
     def get(self, index_id: str) -> IndexEntry:
-        entry = self._entries.get(index_id)
+        with self._lock:
+            entry = self._entries.get(index_id)
         if entry is None:
             raise CatalogError(f"no index {index_id!r}")
         return entry
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)

@@ -116,11 +116,12 @@ class Optimizer:
     def plan(self, conf: JobConf, analysis: JobAnalysis) -> ExecutionDescriptor:
         plans: List[InputPlan] = []
         for index, (source, ia) in enumerate(zip(conf.inputs, analysis.inputs)):
-            plan = self._plan_input(index, source, ia)
-            if plan.entry is not None:
-                # Record usage: feeds the space budget's LRU eviction.
-                self.catalog.touch(plan.entry.index_id)
-            plans.append(plan)
+            plans.append(self._plan_input(index, source, ia))
+        # Record usage (feeds the space budget's LRU eviction) in one
+        # registry transaction for the whole plan.
+        used = [p.entry.index_id for p in plans if p.entry is not None]
+        if used:
+            self.catalog.touch_many(used)
         return ExecutionDescriptor(
             job_name=conf.name,
             plans=plans,

@@ -30,16 +30,24 @@ paper's "ephemeral read-once data files" -- so by default index builds
 happen only for stage inputs that are *not* produced inside the pipeline.
 Pass ``index_intermediates=True`` to override (useful when a pipeline
 output is consumed by many later stages).
+
+The detected links double as a schedule: ``submit(scheduler='dag')``
+lifts them into a :class:`~repro.engine.dag.StageDAG` and dispatches each
+topological wave of independent stages concurrently on the engine, with
+outcomes (and bytes) identical to chain-order execution.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Dict, List, Optional, Sequence, Set
 
 from repro.core.analyzer.descriptors import JobAnalysis
 from repro.core.manimal import Manimal, ManimalResult
+from repro.engine.dag import StageDAG
 from repro.exceptions import JobConfigError
 from repro.mapreduce.formats import RecordFileInput
 from repro.mapreduce.job import JobConf
@@ -78,6 +86,7 @@ class ManimalPipeline:
                 )
             self.stage_hints = list(stage_hints)
         self._links = self._detect_links()
+        self._index_build_lock = threading.Lock()
 
     # -- link detection -----------------------------------------------------
 
@@ -136,11 +145,21 @@ class ManimalPipeline:
 
     # -- execution ------------------------------------------------------------
 
+    def dag(self) -> StageDAG:
+        """The stage DAG the engine scheduler dispatches (for inspection).
+
+        Nodes are stage indexes; edges are the detected data links plus
+        the conservative same-path ordering constraints sequential
+        execution honored implicitly (see :mod:`repro.engine.dag`).
+        """
+        return StageDAG.from_stages(self.stages, self._links)
+
     def submit(self, build_indexes: bool = False,
                allowed_kinds: Optional[Sequence[str]] = None,
-               runner: Optional[Any] = None
+               runner: Optional[Any] = None,
+               scheduler: Optional[str] = None
                ) -> List[StageOutcome]:
-        """Run all stages in order, optimizing each through Manimal.
+        """Run all stages, optimizing each through Manimal.
 
         ``build_indexes`` applies to stage inputs that come from *outside*
         the pipeline; intermediate files are indexed only when the
@@ -148,21 +167,58 @@ class ManimalPipeline:
         ``allowed_kinds`` restricts the index kinds considered, as in
         :meth:`Manimal.build_indexes`.  ``runner`` is a per-submission
         execution-fabric override (worker count, ``'local'`` /
-        ``'parallel'``, or a runner instance) applied to every stage;
-        stages still execute in chain order -- parallelism is *within*
-        a stage, across its map/reduce tasks, never across stages that
-        are linked through the filesystem.
+        ``'parallel'``, or a runner instance) applied to every stage.
+
+        ``scheduler`` picks how stages are ordered:
+
+        * ``'sequential'`` (default) -- chain order, one stage at a time;
+        * ``'dag'`` -- the engine dispatches each topological wave of
+          mutually independent stages concurrently (stages linked
+          through the filesystem still wait for their producers).
+
+        Outcomes are returned in stage order and are byte-identical
+        under both schedulers; ``'dag'`` only changes wall-clock.
         """
+        scheduler = scheduler or "sequential"
+        if scheduler not in ("sequential", "dag"):
+            raise JobConfigError(
+                f"unknown scheduler {scheduler!r}; expected 'sequential' "
+                "or 'dag'"
+            )
         intermediates = self.intermediate_paths()
-        outcomes: List[StageOutcome] = []
-        for i, conf in enumerate(self.stages):
-            # One analysis per stage: hints when the submitter supplied
-            # them (Appendix A), a single analyzer pass otherwise --
-            # reused for both index building and plan/execute below.
-            analysis = self.stage_hints[i]
-            if analysis is None:
-                analysis = self.system.analyze(conf)
-            if build_indexes:
+        if scheduler == "sequential":
+            return [
+                self._submit_stage(i, intermediates, build_indexes,
+                                   allowed_kinds, runner)
+                for i in range(len(self.stages))
+            ]
+        outcomes: List[Optional[StageOutcome]] = [None] * len(self.stages)
+        for wave in self.dag().waves():
+            tasks = [
+                (i, partial(self._submit_stage, i, intermediates,
+                            build_indexes, allowed_kinds, runner))
+                for i in wave
+            ]
+            for i, outcome in self.system.engine.run_stage_tasks(tasks):
+                outcomes[i] = outcome
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    def _submit_stage(self, i: int, intermediates: Set[str],
+                      build_indexes: bool,
+                      allowed_kinds: Optional[Sequence[str]],
+                      runner: Optional[Any]) -> StageOutcome:
+        """Analyze, (optionally) index, and submit one stage."""
+        conf = self.stages[i]
+        # One analysis per stage: hints when the submitter supplied
+        # them (Appendix A), a single analyzer pass otherwise --
+        # reused for both index building and plan/execute below.
+        analysis = self.stage_hints[i]
+        if analysis is None:
+            analysis = self.system.analyze(conf)
+        if build_indexes:
+            # Serialized across concurrent stages so two stages needing
+            # the same index find one build, not a duplicate race.
+            with self._index_build_lock:
                 for source, ia in zip(conf.inputs, analysis.inputs):
                     path = getattr(source, "path", None)
                     if path is None or type(source) is not RecordFileInput:
@@ -175,14 +231,11 @@ class ManimalPipeline:
                     self.system.build_indexes(
                         single, sub, allowed_kinds=allowed_kinds
                     )
-            outcome = self.system.submit(
-                conf, build_indexes=False, analysis=analysis, runner=runner
-            )
-            outcomes.append(
-                StageOutcome(conf=conf, outcome=outcome,
-                             upstream=list(self._links[i]))
-            )
-        return outcomes
+        outcome = self.system.submit(
+            conf, build_indexes=False, analysis=analysis, runner=runner
+        )
+        return StageOutcome(conf=conf, outcome=outcome,
+                            upstream=list(self._links[i]))
 
     def describe(self) -> str:
         lines = ["pipeline:"]

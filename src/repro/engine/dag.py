@@ -1,0 +1,101 @@
+"""Stage DAGs: topological waves over a pipeline's detected links.
+
+:class:`~repro.core.pipeline.ManimalPipeline` already proves which stages
+are chained through the filesystem (paper Appendix E).  This module lifts
+that link map into an explicit DAG the engine can schedule: stages with
+no path between them run concurrently, in **waves** -- wave *k* holds
+every stage whose longest dependency chain has length *k*, so a wave's
+stages are mutually independent by construction.
+
+Dependencies are conservative.  Besides the read-after-write links the
+pipeline detects, the DAG adds ordering edges that sequential execution
+honored implicitly and concurrent execution must keep honoring:
+
+* **write-write** -- two stages writing the same output path run in
+  stage order (the later write is the one downstream readers observe);
+* **write-after-read** -- a stage overwriting a path that an *earlier*
+  stage reads waits for that reader (the reader consumes the previous
+  version of the file).
+
+Waves are deterministic: derived purely from stage indexes and paths,
+each wave listed in ascending stage order.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Set
+
+
+class StageDAG:
+    """Dependency DAG over pipeline stages, with wave scheduling."""
+
+    def __init__(self, deps: Dict[int, Set[int]]):
+        #: stage index -> indexes of stages that must complete first
+        self.deps = {i: set(ds) for i, ds in deps.items()}
+
+    @classmethod
+    def from_stages(cls, stages: Sequence, links: Dict[int, List[int]]
+                    ) -> "StageDAG":
+        """Build the DAG from stage confs plus detected data links.
+
+        ``links`` is :meth:`ManimalPipeline.links
+        <repro.core.pipeline.ManimalPipeline.links>` output: stage ->
+        upstream stages whose output it reads (read-after-write).  All
+        added edges point from later to earlier stages, so the result is
+        acyclic whenever the pipeline's own link detection accepted it.
+        """
+        deps: Dict[int, Set[int]] = {
+            i: set(links.get(i, ())) for i in range(len(stages))
+        }
+        writes: List[Optional[str]] = []
+        reads: List[Set[str]] = []
+        for conf in stages:
+            writes.append(
+                os.path.abspath(conf.output_path)
+                if conf.output_path is not None else None
+            )
+            reads.append({
+                os.path.abspath(p)
+                for p in (getattr(s, "path", None) for s in conf.inputs)
+                if p is not None
+            })
+        for j in range(len(stages)):
+            if writes[j] is None:
+                continue
+            for i in range(j):
+                if writes[i] == writes[j] or writes[j] in reads[i]:
+                    deps[j].add(i)
+        return cls(deps)
+
+    def waves(self) -> List[List[int]]:
+        """Stages grouped into concurrently runnable waves, in order.
+
+        Every dependency of a wave-*k* stage lives in an earlier wave;
+        within a wave, stages are listed in ascending index order.
+        """
+        level: Dict[int, int] = {}
+        for i in sorted(self.deps):
+            # Dependencies always point to earlier stage indexes, so
+            # ascending order visits them first.
+            level[i] = 1 + max(
+                (level[d] for d in self.deps[i]), default=-1
+            )
+        waves: Dict[int, List[int]] = {}
+        for i in sorted(level):
+            waves.setdefault(level[i], []).append(i)
+        return [waves[k] for k in sorted(waves)]
+
+    def width(self) -> int:
+        """The widest wave: how much stage concurrency the DAG exposes."""
+        return max((len(w) for w in self.waves()), default=0)
+
+    def describe(self) -> str:
+        lines = ["stage DAG:"]
+        for k, wave in enumerate(self.waves()):
+            rendered = ", ".join(
+                f"{i} <- {sorted(self.deps[i])}" if self.deps[i] else str(i)
+                for i in wave
+            )
+            lines.append(f"  wave {k}: {rendered}")
+        return "\n".join(lines)

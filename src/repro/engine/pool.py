@@ -1,0 +1,453 @@
+"""Persistent, fork-aware worker pool shared across jobs.
+
+The pre-engine :class:`~repro.mapreduce.parallel.ParallelJobRunner`
+constructed a ``ProcessPoolExecutor`` inside every ``run(conf)`` call and
+tore it down at the end -- forking (and joining) a fresh set of workers
+per job, which dominates the cost of small jobs.  This module moves the
+pool behind the engine so workers are forked once and reused:
+
+* **pooled path** -- when the job state pickles, it is spilled once to
+  ``<spill_dir>/jobstate.pkl`` and tasks are dispatched to the engine's
+  long-lived pool as ``(state file, job token, task args)``; each worker
+  loads and caches the state per job, so the per-job cost is one pickle
+  load per worker instead of a fork+teardown of the whole pool;
+* **forked path** -- unpicklable jobs (closures, synthesized fluent
+  mappers, in-memory splits holding exotic objects) fall back to the
+  original per-job pool whose workers *fork after* the job state is
+  published in :data:`_JOB_STATE`, inheriting it through fork memory;
+* **inline path** -- no fork support (e.g. Windows) or an effective
+  worker count of 1 runs the same spill-based task sequence in-process.
+
+All three paths execute the shared
+:func:`~repro.mapreduce.runtime.execute_map_task` /
+:func:`~repro.mapreduce.runtime.execute_reduce_partition` bodies and
+produce byte-identical results; only scheduling differs.  In-flight
+tasks on the shared pool are throttled to the job's requested worker
+count, so ``parallelism=2`` keeps meaning "at most 2 of my tasks at
+once" even when the engine pool is wider.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import pickle
+import threading
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import JobExecutionError
+from repro.mapreduce.job import JobConf
+from repro.mapreduce.runtime import execute_map_task, execute_reduce_partition
+from repro.mapreduce import shuffle
+
+
+def default_worker_count() -> int:
+    """The documented default for ``parallelism=0`` / auto worker counts.
+
+    One worker per CPU (``os.cpu_count()``; 2 when undetectable).  On a
+    single-CPU host auto therefore resolves to 1 worker, which the pool
+    runs inline -- auto never oversubscribes the machine.
+    """
+    return os.cpu_count() or 2
+
+
+#: Fork shares job state by memory inheritance; detected once per process
+#: (the engine routes every runner through this single decision).
+_FORK_CONTEXT = (
+    multiprocessing.get_context("fork")
+    if "fork" in multiprocessing.get_all_start_methods()
+    else None
+)
+
+
+def fork_available() -> bool:
+    return _FORK_CONTEXT is not None
+
+
+@dataclass
+class _JobState:
+    """Per-run state workers reach through a state file or fork memory."""
+
+    conf: JobConf
+    #: (input tag, split) per map task, in deterministic enumeration order
+    tasks: List[Tuple[Optional[str], Any]]
+    spill_dir: str
+    #: sorted spill runs when the job reduces; raw runs for map-only jobs
+    sort_runs: bool
+
+
+# -- shared task bodies ------------------------------------------------------
+
+
+def run_map_task(state: _JobState, task_index: int) -> Tuple[
+    int, Dict[int, str], Any, Any
+]:
+    """Run map task ``task_index`` and spill its partitioned output.
+
+    Reducing jobs spill *decorated* sorted runs -- ``(sort_key, key,
+    value)`` rows -- so the sort key computed here is the one the merge
+    heap and the reducer's grouping reuse.  Map-only jobs spill plain
+    pairs (their output is never sorted).
+    """
+    tag, split = state.tasks[task_index]
+    task = execute_map_task(state.conf, tag, split)
+    runs: Dict[int, str] = {}
+    for part, pairs in enumerate(task.partitions):
+        if not pairs:
+            continue
+        if state.sort_runs:
+            pairs = shuffle.sort_decorated_run(shuffle.decorate_pairs(pairs))
+        runs[part] = shuffle.write_run(
+            shuffle.run_path(state.spill_dir, "map", task_index, part), pairs
+        )
+    return task_index, runs, task.metrics, task.counters
+
+
+def run_reduce_task(state: _JobState, partition: int,
+                    run_paths: List[str]) -> Tuple[int, str, Any, Any]:
+    """Merge one partition's runs, reduce them, spill the output."""
+    if state.sort_runs:
+        merged: Any = shuffle.merge_decorated_runs(run_paths)
+        reduced = execute_reduce_partition(
+            state.conf, merged, presorted=True, decorated=True
+        )
+    else:
+        merged = shuffle.merge_runs(run_paths, sorted_runs=False)
+        reduced = execute_reduce_partition(state.conf, merged, presorted=True)
+    out_path = shuffle.write_run(
+        shuffle.run_path(state.spill_dir, "out", 0, partition),
+        reduced.outputs,
+    )
+    return partition, out_path, reduced.metrics, reduced.counters
+
+
+def partition_runs(map_results: Sequence[Tuple]) -> List[Tuple[int, List[str]]]:
+    """Reduce-task inputs: partition -> run paths in map-task order."""
+    by_partition: Dict[int, List[Tuple[int, str]]] = {}
+    for task_index, runs, _metrics, _counters in map_results:
+        for part, path in runs.items():
+            by_partition.setdefault(part, []).append((task_index, path))
+    return [
+        (part, [path for _i, path in sorted(entries)])
+        for part, entries in sorted(by_partition.items())
+    ]
+
+
+# -- forked path: per-job pool, state inherited through fork memory ----------
+
+#: Set by the submitting process immediately before workers fork, cleared
+#: after the run; forked workers read it instead of unpickling the job.
+_JOB_STATE: Optional[_JobState] = None
+
+#: Serializes the _JOB_STATE window across threads of one process.
+_STATE_LOCK = threading.Lock()
+
+
+def _forked_map_worker(task_index: int):
+    state = _JOB_STATE
+    assert state is not None, "worker has no inherited job state"
+    return run_map_task(state, task_index)
+
+
+def _forked_reduce_worker(partition: int, run_paths: List[str]):
+    state = _JOB_STATE
+    assert state is not None, "worker has no inherited job state"
+    return run_reduce_task(state, partition, run_paths)
+
+
+# -- pooled path: persistent workers, state loaded from a spill file ---------
+
+#: Worker-side cache of unpickled job states, keyed by job token.  Small:
+#: concurrent jobs on one pool are rare, and states die with their jobs.
+_WORKER_STATES: Dict[str, _JobState] = {}
+_WORKER_STATE_CAP = 4
+
+
+def _load_state(state_path: str, token: str) -> _JobState:
+    state = _WORKER_STATES.get(token)
+    if state is None:
+        with open(state_path, "rb") as f:
+            state = pickle.load(f)
+        while len(_WORKER_STATES) >= _WORKER_STATE_CAP:
+            _WORKER_STATES.pop(next(iter(_WORKER_STATES)))
+        _WORKER_STATES[token] = state
+    return state
+
+
+def _pooled_map_worker(state_path: str, token: str, task_index: int):
+    return run_map_task(_load_state(state_path, token), task_index)
+
+
+def _pooled_reduce_worker(state_path: str, token: str, partition: int,
+                          run_paths: List[str]):
+    return run_reduce_task(_load_state(state_path, token), partition,
+                           run_paths)
+
+
+class WorkerPool:
+    """A persistent process pool executing map/reduce tasks for many jobs.
+
+    Owned by an :class:`~repro.engine.service.ExecutionEngine`; runners
+    are thin strategies that build a :class:`_JobState` and call
+    :meth:`run_job`.  The underlying ``ProcessPoolExecutor`` is created
+    lazily on the first pooled job, sized ``max(max_workers, requested)``,
+    and reused until :meth:`shutdown` (or process exit).  Thread-safe:
+    concurrent jobs share the pool, each throttled to its own worker
+    count.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None):
+        #: upper bound the persistent pool is first sized to; individual
+        #: jobs may request fewer (throttled) or more (the pool grows
+        #: when no other job is running on it)
+        self.max_workers = max_workers or default_worker_count()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_size = 0
+        #: jobs currently dispatching on self._pool; growth/replacement
+        #: only happens at zero, so a pool is never shut down under a job
+        self._active_jobs = 0
+        self._lock = threading.Lock()
+        self._token_seq = itertools.count()
+        #: scheduling-path counters, exposed via ``stats()``
+        self.jobs_pooled = 0
+        self.jobs_forked = 0
+        self.jobs_inline = 0
+        self.pools_created = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _acquire_pool(self, n_workers: int) -> ProcessPoolExecutor:
+        """Check out the shared pool for one job (``_release_pool`` after).
+
+        Creates the pool on first use; an undersized pool is replaced
+        only while no other job holds it -- a concurrent job simply runs
+        on the current (narrower) pool rather than having it shut down
+        mid-dispatch.
+        """
+        with self._lock:
+            if self._pool is None or (
+                self._pool_size < n_workers and self._active_jobs == 0
+            ):
+                old = self._pool
+                size = max(n_workers, self.max_workers)
+                self._pool = ProcessPoolExecutor(
+                    max_workers=size, mp_context=_FORK_CONTEXT
+                )
+                self._pool_size = size
+                self.pools_created += 1
+                if old is not None:
+                    old.shutdown(wait=False)
+            self._active_jobs += 1
+            return self._pool
+
+    def _release_pool(self) -> None:
+        with self._lock:
+            self._active_jobs -= 1
+
+    def _discard_pool(self, pool: ProcessPoolExecutor) -> None:
+        """Drop a broken pool so the next job forks a fresh one.
+
+        Identity-checked: if another job already replaced the shared
+        pool, the (healthy) replacement is left untouched.
+        """
+        with self._lock:
+            if self._pool is pool:
+                self._pool = None
+                self._pool_size = 0
+        pool.shutdown(wait=False)
+
+    def shutdown(self) -> None:
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True, cancel_futures=True)
+                self._pool = None
+                self._pool_size = 0
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "jobs_pooled": self.jobs_pooled,
+            "jobs_forked": self.jobs_forked,
+            "jobs_inline": self.jobs_inline,
+            "pools_created": self.pools_created,
+        }
+
+    # -- job execution -------------------------------------------------------
+
+    def run_job(self, state: _JobState,
+                num_workers: int) -> Tuple[List, List]:
+        """Execute both phases of one job; returns (map, reduce) results.
+
+        Result lists are unordered; callers sort by task index/partition
+        (both are carried in each result tuple), so every scheduling path
+        rolls up identically.
+        """
+        # Size for the wider phase: a job with one unsplittable input can
+        # still fan its reduce partitions out across workers.
+        widest_phase = max(1, len(state.tasks), state.conf.num_reducers)
+        n_workers = min(num_workers, widest_phase)
+        if _FORK_CONTEXT is None or n_workers == 1:
+            self.jobs_inline += 1
+            return self._run_inline(state)
+        blob = self._pickle_state(state)
+        if blob is None:
+            self.jobs_forked += 1
+            return self._run_forked(state, n_workers)
+        self.jobs_pooled += 1
+        return self._run_pooled(state, blob, n_workers)
+
+    @staticmethod
+    def _pickle_state(state: _JobState) -> Optional[bytes]:
+        try:
+            return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            # Closures, synthesized mappers, exotic split payloads: the
+            # forked path inherits them through fork memory instead.
+            return None
+
+    def _run_inline(self, state: _JobState) -> Tuple[List, List]:
+        """No-pool fallback: same spill path, executed in-process."""
+        map_results = [
+            run_map_task(state, i) for i in range(len(state.tasks))
+        ]
+        reduce_results = [
+            run_reduce_task(state, part, paths)
+            for part, paths in partition_runs(map_results)
+        ]
+        return map_results, reduce_results
+
+    def _run_forked(self, state: _JobState,
+                    n_workers: int) -> Tuple[List, List]:
+        """Per-job pool; workers fork after the state is published."""
+        global _JOB_STATE
+        # The state lock serializes concurrent forked jobs in one process:
+        # workers fork lazily at first submit, so a second job rebinding
+        # _JOB_STATE mid-run would be inherited by the first job's
+        # workers.  Each job still fans out internally; picklable jobs
+        # take the pooled path and do not contend here.
+        with _STATE_LOCK:
+            try:
+                _JOB_STATE = state
+                with ProcessPoolExecutor(
+                    max_workers=n_workers, mp_context=_FORK_CONTEXT
+                ) as pool:
+                    map_results = self._dispatch(
+                        pool,
+                        [(_forked_map_worker, (i,))
+                         for i in range(len(state.tasks))],
+                        n_workers,
+                    )
+                    reduce_results = self._dispatch(
+                        pool,
+                        [(_forked_reduce_worker, (part, paths))
+                         for part, paths in partition_runs(map_results)],
+                        n_workers,
+                    )
+            except JobExecutionError:
+                raise
+            except Exception as exc:
+                # BrokenProcessPool and friends: a worker died without a
+                # Python-level traceback (OOM kill, hard crash).
+                raise JobExecutionError(
+                    f"parallel job {state.conf.name!r} lost a worker "
+                    f"process: {exc}"
+                ) from exc
+            finally:
+                _JOB_STATE = None
+        return map_results, reduce_results
+
+    def _run_pooled(self, state: _JobState, blob: bytes,
+                    n_workers: int) -> Tuple[List, List]:
+        """Dispatch to the persistent pool via a spilled state file."""
+        state_path = os.path.join(state.spill_dir, "jobstate.pkl")
+        with open(state_path, "wb") as f:
+            f.write(blob)
+        token = f"{os.getpid()}-{next(self._token_seq)}"
+        pool = self._acquire_pool(n_workers)
+        try:
+            map_results = self._dispatch(
+                pool,
+                [(_pooled_map_worker, (state_path, token, i))
+                 for i in range(len(state.tasks))],
+                n_workers,
+            )
+            reduce_results = self._dispatch(
+                pool,
+                [(_pooled_reduce_worker, (state_path, token, part, paths))
+                 for part, paths in partition_runs(map_results)],
+                n_workers,
+            )
+        except BrokenProcessPool as exc:
+            # A worker died without a Python-level traceback (OOM kill,
+            # hard crash).  The pool is unusable afterwards; discard it
+            # (identity-checked) so later jobs fork a fresh one.
+            self._discard_pool(pool)
+            raise JobExecutionError(
+                f"parallel job {state.conf.name!r} lost a worker "
+                f"process: {exc}"
+            ) from exc
+        except JobExecutionError:
+            raise
+        except Exception as exc:
+            # A task failed with an ordinary error (e.g. disk full while
+            # spilling): the job fails but the pool is healthy -- other
+            # jobs keep running on it.
+            raise JobExecutionError(
+                f"parallel job {state.conf.name!r} task failed: {exc}"
+            ) from exc
+        finally:
+            self._release_pool()
+        return map_results, reduce_results
+
+    @staticmethod
+    def _dispatch(pool: ProcessPoolExecutor,
+                  calls: List[Tuple[Callable, Tuple]],
+                  limit: int) -> List:
+        """Submit ``calls``, keeping at most ``limit`` in flight.
+
+        The in-flight cap is what makes a job's worker count meaningful
+        on a shared pool: two concurrent jobs with ``parallelism=2`` each
+        occupy at most 2 workers apiece, regardless of pool width.
+        Task failures (:class:`JobExecutionError` from user code, or pool
+        breakage) propagate to the caller, which owns the wrapping -- but
+        only after this job's sibling in-flight tasks are cancelled or
+        drained, so a failed job never leaves orphan tasks running on the
+        shared pool (or writing into a spill dir the runner is about to
+        delete).
+        """
+        results: List[Any] = []
+        it = iter(calls)
+        pending = set()
+
+        def refill() -> None:
+            while len(pending) < limit:
+                nxt = next(it, None)
+                if nxt is None:
+                    return
+                fn, args = nxt
+                pending.add(pool.submit(fn, *args))
+
+        refill()
+        while pending:
+            done, not_done = wait(pending, return_when=FIRST_COMPLETED)
+            pending = set(not_done)
+            failure: Optional[BaseException] = None
+            for future in done:
+                try:
+                    results.append(future.result())
+                except BaseException as exc:  # noqa: BLE001 -- re-raised
+                    if failure is None:
+                        failure = exc
+            if failure is not None:
+                for future in pending:
+                    future.cancel()
+                drained, _ = wait(pending)
+                for future in drained:
+                    if not future.cancelled():
+                        future.exception()  # retrieve, don't warn
+                raise failure
+            refill()
+        return results

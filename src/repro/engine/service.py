@@ -1,0 +1,196 @@
+"""The :class:`ExecutionEngine`: one execution service behind every submit.
+
+A Manimal deployment is a long-lived service (the paper's analyzer
+"examines newly-submitted code" as it arrives; the optimizer consults a
+persistent catalog; the fabric runs job after job).  The engine is the
+process-local embodiment of that service: it owns the persistent
+:class:`~repro.engine.pool.WorkerPool`, the analyzer/planner caches, and
+the thread pool that dispatches independent pipeline stages, so that
+every :class:`~repro.core.manimal.Manimal` (and every fluent ``Session``)
+reuses one set of machinery instead of rebuilding it per call.
+
+By default all systems share the process-wide engine from
+:func:`get_engine`; pass ``engine=ExecutionEngine()`` to ``Manimal`` or
+``Session`` for an isolated one (benchmarks do, to compare cold-start
+against reuse).
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.cache import MemoCache, analysis_fingerprint
+from repro.engine.pool import WorkerPool, default_worker_count
+
+#: Attribute stashed on cached JobAnalysis objects so the plan cache can
+#: reuse the already-computed fingerprint (hint-provided analyses lack
+#: it and plan uncached).
+_FP_ATTR = "_engine_fingerprint"
+
+
+class ExecutionEngine:
+    """Shared execution machinery: worker pool, caches, stage dispatch."""
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 analysis_cache_size: int = 256,
+                 plan_cache_size: int = 256):
+        self.pool = WorkerPool(max_workers)
+        self.analysis_cache = MemoCache(maxsize=analysis_cache_size)
+        self.plan_cache = MemoCache(maxsize=plan_cache_size)
+        self._stage_pool: Optional[ThreadPoolExecutor] = None
+        self._lock = threading.Lock()
+
+    # -- cached analysis ------------------------------------------------------
+
+    def analyze(self, analyzer: Any, conf: Any) -> Any:
+        """Memoized ``analyzer.analyze_job(conf)``.
+
+        Keyed by the code-object fingerprint of the job's mappers and
+        reducer, the folded instance members, the knowledge-base version,
+        and size+mtime fingerprints of the input files (see
+        :mod:`repro.engine.cache`).  Unfingerprintable jobs run straight
+        through the analyzer, uncached.
+        """
+        fp = analysis_fingerprint(analyzer, conf)
+        if fp is None:
+            return analyzer.analyze_job(conf)
+        cached = self.analysis_cache.get(fp)
+        if cached is not None:
+            if cached.job_name != conf.name:
+                # Analyses are name-agnostic; fix up the label only.
+                cached = replace(cached, job_name=conf.name)
+                setattr(cached, _FP_ATTR, fp)
+            return cached
+        analysis = analyzer.analyze_job(conf)
+        setattr(analysis, _FP_ATTR, fp)
+        self.analysis_cache.put(fp, analysis)
+        return analysis
+
+    # -- cached planning ------------------------------------------------------
+
+    def plan(self, optimizer: Any, conf: Any, analysis: Any) -> Any:
+        """Memoized ``optimizer.plan(conf, analysis)``.
+
+        Applicability of catalog indexes to a program depends only on the
+        analysis (which already embeds each source file's size+mtime
+        fingerprint) and the catalog contents, so the key is the analysis
+        fingerprint plus the catalog's *instance token* (unique per
+        Catalog object -- systems on different catalogs, or on different
+        views of one directory, never alias) and its *generation* -- a
+        counter bumped on register/remove/evict but not on LRU touches.
+        Cache hits still record index usage (``catalog.touch_many``),
+        keeping eviction accounting identical to uncached planning.
+        Analyses without a fingerprint (hint-provided, or
+        unfingerprintable jobs) plan uncached.
+        """
+        fp = getattr(analysis, _FP_ATTR, None)
+        catalog = optimizer.catalog
+        generation = getattr(catalog, "generation", None)
+        token = getattr(catalog, "instance_token", None)
+        if fp is None or generation is None or token is None:
+            return optimizer.plan(conf, analysis)
+        key = (
+            fp, type(optimizer).__qualname__, token, generation,
+            conf.num_reducers, conf.parallelism,
+        )
+        cached = self.plan_cache.get(key)
+        if cached is not None:
+            used = [
+                plan.entry.index_id for plan in cached.plans
+                if plan.entry is not None
+            ]
+            if used:
+                catalog.touch_many(used)
+            if cached.job_name != conf.name:
+                cached = replace(cached, job_name=conf.name)
+            return cached
+        descriptor = optimizer.plan(conf, analysis)
+        self.plan_cache.put(key, descriptor)
+        return descriptor
+
+    # -- stage dispatch (DAG waves) -------------------------------------------
+
+    def run_stage_tasks(self, tasks: Sequence[Tuple[int, Callable[[], Any]]]
+                        ) -> List[Tuple[int, Any]]:
+        """Run one wave of independent stage thunks; deterministic order.
+
+        ``tasks`` is ``[(stage_index, thunk), ...]``.  Single-stage waves
+        run inline; wider waves fan out on the engine's thread pool (each
+        stage's own map/reduce tasks then fan out on the shared *process*
+        pool, which is where multi-core wall-clock is won).  All thunks
+        are waited for; if any failed, the exception of the lowest stage
+        index is raised, so failures are as deterministic as results.
+        """
+        if len(tasks) == 1:
+            index, thunk = tasks[0]
+            return [(index, thunk())]
+        pool = self._ensure_stage_pool()
+        futures = [(index, pool.submit(thunk)) for index, thunk in tasks]
+        results: List[Tuple[int, Any]] = []
+        error: Optional[Tuple[int, BaseException]] = None
+        for index, future in futures:
+            try:
+                results.append((index, future.result()))
+            except BaseException as exc:  # noqa: BLE001 -- re-raised below
+                if error is None or index < error[0]:
+                    error = (index, exc)
+        if error is not None:
+            raise error[1]
+        return results
+
+    def _ensure_stage_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._stage_pool is None:
+                self._stage_pool = ThreadPoolExecutor(
+                    max_workers=max(4, default_worker_count()),
+                    thread_name_prefix="engine-stage",
+                )
+            return self._stage_pool
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "pool": self.pool.stats(),
+            "analysis_cache": self.analysis_cache.stats(),
+            "plan_cache": self.plan_cache.stats(),
+        }
+
+    def clear_caches(self) -> None:
+        self.analysis_cache.clear()
+        self.plan_cache.clear()
+
+    def shutdown(self) -> None:
+        """Release the worker processes and stage threads."""
+        self.pool.shutdown()
+        with self._lock:
+            if self._stage_pool is not None:
+                self._stage_pool.shutdown(wait=False, cancel_futures=True)
+                self._stage_pool = None
+
+
+# -- the process-wide shared engine ------------------------------------------
+
+_DEFAULT_ENGINE: Optional[ExecutionEngine] = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def get_engine() -> ExecutionEngine:
+    """The process-wide engine every system shares by default."""
+    global _DEFAULT_ENGINE
+    with _DEFAULT_LOCK:
+        if _DEFAULT_ENGINE is None:
+            _DEFAULT_ENGINE = ExecutionEngine()
+            atexit.register(_DEFAULT_ENGINE.shutdown)
+        return _DEFAULT_ENGINE
+
+
+def set_engine(engine: Optional[ExecutionEngine]) -> None:
+    """Replace the shared engine (tests; pass None to reset lazily)."""
+    global _DEFAULT_ENGINE
+    with _DEFAULT_LOCK:
+        _DEFAULT_ENGINE = engine

@@ -52,8 +52,10 @@ class JobConf:
     #: to direct-operation compression (paper footnote 1)
     requires_sorted_output: bool = False
     #: requested worker processes for this job; ``None`` defers to the
-    #: runner the submitter chose, ``1`` forces sequential execution, and
-    #: ``>1`` selects the spill-based
+    #: runner the submitter chose, ``1`` forces sequential execution,
+    #: ``0`` auto-detects the CPU count (see
+    #: :func:`~repro.engine.pool.default_worker_count`), and ``>1``
+    #: selects the spill-based
     #: :class:`~repro.mapreduce.parallel.ParallelJobRunner` wherever the
     #: job is run (``run_job``, ``Manimal.submit``, pipelines).  Output
     #: bytes are identical either way.
@@ -68,8 +70,8 @@ class JobConf:
             raise JobConfigError(f"job {self.name!r} has no inputs")
         if self.num_reducers < 1:
             raise JobConfigError("num_reducers must be >= 1")
-        if self.parallelism is not None and self.parallelism < 1:
-            raise JobConfigError("parallelism must be >= 1")
+        if self.parallelism is not None and self.parallelism < 0:
+            raise JobConfigError("parallelism must be >= 0 (0 = auto)")
 
     def mapper_for(self, tag: Optional[str]) -> MapperSpec:
         """The mapper spec used for an input with the given tag."""

@@ -2,13 +2,16 @@
 
 :class:`ParallelJobRunner` executes the same map-shuffle-reduce sequence
 as the sequential :class:`~repro.mapreduce.runtime.LocalJobRunner`, but
-fans tasks out across a ``concurrent.futures.ProcessPoolExecutor``:
+fans tasks out across worker processes.  It is a thin *strategy*: the
+runner enumerates splits into a job state and rolls results up
+deterministically, while scheduling lives in the engine's persistent
+:class:`~repro.engine.pool.WorkerPool` (shared across jobs, so small
+repeated submissions stop paying a pool fork+teardown each):
 
-1. **map fan-out** -- every input split becomes a map task submitted to
-   the pool; each worker runs the shared
-   :func:`~repro.mapreduce.runtime.execute_map_task`, partitions its
-   output with the job's hash partitioner, and spills sorted
-   per-partition runs to temporary files
+1. **map fan-out** -- every input split becomes a map task; each worker
+   runs the shared :func:`~repro.mapreduce.runtime.execute_map_task`,
+   partitions its output with the job's hash partitioner, and spills
+   sorted per-partition runs to temporary files
    (:mod:`repro.mapreduce.shuffle`);
 2. **reduce claim** -- each non-empty reduce partition is submitted as a
    task; whichever worker claims it k-way merges the partition's runs
@@ -21,13 +24,14 @@ fans tasks out across a ``concurrent.futures.ProcessPoolExecutor``:
    their order, counters, and every volume metric except
    ``wall_seconds`` -- is byte-identical to a sequential run.
 
-Workers are forked (POSIX), so jobs keep working even when mappers,
-reducers, shuffle filters or split payloads are closures, synthesized
-functions, or otherwise unpicklable: the job state is inherited through
-fork memory, never pickled.  Only spilled (key, value) pairs and the
-metric/counter deltas cross process boundaries.  Where fork is
-unavailable the runner degrades to running its tasks inline (still
-through the spill-based shuffle, so results are unchanged).
+Picklable jobs ride the engine's long-lived pool; jobs whose state
+cannot pickle (closures, synthesized fluent mappers, exotic split
+payloads) fall back to a per-job pool whose workers fork *after* the
+job state is published, inheriting it through fork memory -- so those
+keep working unchanged.  Where fork is unavailable the runner degrades
+to running its tasks inline (still through the spill-based shuffle, so
+results are unchanged).  See :mod:`repro.engine.pool` for the three
+paths.
 
 One semantic caveat, documented in ``docs/execution-model.md``: a mapper
 *instance* that accumulates state across map tasks sees per-worker copies
@@ -37,121 +41,52 @@ Hadoop semantics) behave identically under both runners.
 
 from __future__ import annotations
 
-import multiprocessing
-import os
 import shutil
 import tempfile
-import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
-from repro.exceptions import JobConfigError, JobExecutionError
+from repro.engine.pool import WorkerPool, _JobState, default_worker_count
+from repro.exceptions import JobConfigError
 from repro.mapreduce.counters import Counters, FRAMEWORK_GROUP
 from repro.mapreduce.job import JobConf, JobResult
 from repro.mapreduce.metrics import JobMetrics
-from repro.mapreduce.runtime import (
-    LocalJobRunner,
-    execute_map_task,
-    execute_reduce_partition,
-    write_job_output,
-)
+from repro.mapreduce.runtime import LocalJobRunner, write_job_output
 from repro.mapreduce import shuffle
-
-
-@dataclass
-class _JobState:
-    """Per-run state workers reach through fork-inherited memory."""
-
-    conf: JobConf
-    #: (input tag, split) per map task, in deterministic enumeration order
-    tasks: List[Tuple[Optional[str], Any]]
-    spill_dir: str
-    #: sorted spill runs when the job reduces; raw runs for map-only jobs
-    sort_runs: bool
-
-
-#: Set by the submitting process immediately before workers fork, cleared
-#: after the run; workers read it instead of unpickling the job.
-_JOB_STATE: Optional[_JobState] = None
-
-#: Serializes the _JOB_STATE window across threads of one process.
-_STATE_LOCK = threading.Lock()
-
-
-def _map_worker(task_index: int) -> Tuple[
-    int, Dict[int, str], JobMetrics, Counters
-]:
-    """Run map task ``task_index`` and spill its partitioned output.
-
-    Reducing jobs spill *decorated* sorted runs -- ``(sort_key, key,
-    value)`` rows -- so the sort key computed here is the one the merge
-    heap and the reducer's grouping reuse.  Map-only jobs spill plain
-    pairs (their output is never sorted).
-    """
-    state = _JOB_STATE
-    assert state is not None, "worker has no inherited job state"
-    tag, split = state.tasks[task_index]
-    task = execute_map_task(state.conf, tag, split)
-    runs: Dict[int, str] = {}
-    for part, pairs in enumerate(task.partitions):
-        if not pairs:
-            continue
-        if state.sort_runs:
-            pairs = shuffle.sort_decorated_run(shuffle.decorate_pairs(pairs))
-        runs[part] = shuffle.write_run(
-            shuffle.run_path(state.spill_dir, "map", task_index, part), pairs
-        )
-    return task_index, runs, task.metrics, task.counters
-
-
-def _reduce_worker(partition: int, run_paths: List[str]) -> Tuple[
-    int, str, JobMetrics, Counters
-]:
-    """Merge one partition's runs, reduce them, spill the output."""
-    state = _JOB_STATE
-    assert state is not None, "worker has no inherited job state"
-    if state.sort_runs:
-        merged: Any = shuffle.merge_decorated_runs(run_paths)
-        reduced = execute_reduce_partition(
-            state.conf, merged, presorted=True, decorated=True
-        )
-    else:
-        merged = shuffle.merge_runs(run_paths, sorted_runs=False)
-        reduced = execute_reduce_partition(state.conf, merged, presorted=True)
-    out_path = shuffle.write_run(
-        shuffle.run_path(state.spill_dir, "out", 0, partition),
-        reduced.outputs,
-    )
-    return partition, out_path, reduced.metrics, reduced.counters
 
 
 class ParallelJobRunner:
     """Runs jobs across worker processes via a spill-based shuffle.
 
     Drop-in replacement for :class:`LocalJobRunner`: same ``run(conf)``
-    contract, byte-identical outputs, truthful merged metrics.  Worker
-    count comes from ``num_workers`` (default: ``os.cpu_count()``).
+    contract, byte-identical outputs, truthful merged metrics.
+    ``num_workers`` is the per-job worker cap; ``None`` or ``0`` means
+    auto-detect (one worker per CPU --
+    :func:`~repro.engine.pool.default_worker_count`).  Scheduling runs on
+    the engine's shared persistent pool; pass ``engine`` to pin a
+    specific :class:`~repro.engine.service.ExecutionEngine`.
     """
 
     def __init__(self, num_workers: Optional[int] = None,
-                 splits_per_input: int = 10):
-        if num_workers is not None and num_workers < 1:
-            raise JobConfigError("num_workers must be >= 1")
-        #: worker process count; None = one per CPU
-        self.num_workers = num_workers or (os.cpu_count() or 2)
+                 splits_per_input: int = 10,
+                 engine: Optional[Any] = None):
+        if num_workers is not None and num_workers < 0:
+            raise JobConfigError("num_workers must be >= 0 (0 = auto)")
+        #: worker process count; None/0 resolve to one per CPU
+        self.num_workers = num_workers or default_worker_count()
         #: target number of splits (map tasks) per input source
         self.splits_per_input = splits_per_input
-        methods = multiprocessing.get_all_start_methods()
-        #: fork shares job state by memory inheritance; without it (e.g.
-        #: Windows) tasks run inline through the same spill path
-        self._mp_context = (
-            multiprocessing.get_context("fork") if "fork" in methods else None
-        )
+        self._engine = engine
+
+    @property
+    def _pool(self) -> WorkerPool:
+        if self._engine is None:
+            from repro.engine.service import get_engine
+
+            self._engine = get_engine()
+        return self._engine.pool
 
     def run(self, conf: JobConf) -> JobResult:
-        global _JOB_STATE
         start = time.perf_counter()
         metrics = JobMetrics()
         counters = Counters()
@@ -169,16 +104,9 @@ class ParallelJobRunner:
             sort_runs=conf.reducer is not None,
         )
         try:
-            # The state lock serializes concurrent run() calls in one
-            # process: workers fork lazily at first submit, so a second
-            # job rebinding _JOB_STATE mid-run would be inherited by the
-            # first job's workers.  Each job still fans out internally.
-            with _STATE_LOCK:
-                try:
-                    _JOB_STATE = state
-                    map_results, reduce_results = self._execute(state)
-                finally:
-                    _JOB_STATE = None
+            map_results, reduce_results = self._pool.run_job(
+                state, self.num_workers
+            )
 
             # Deterministic rollup: map deltas in task order, reduce
             # deltas and outputs in partition order -- the sequential
@@ -213,62 +141,6 @@ class ParallelJobRunner:
             metrics=metrics,
         )
 
-    # -- phase execution -----------------------------------------------------
-
-    def _execute(self, state: _JobState) -> Tuple[List, List]:
-        """Run both phases, in a worker pool when fork is available."""
-        # Size the pool for the wider phase: a job with one unsplittable
-        # input can still fan its reduce partitions out across workers.
-        widest_phase = max(1, len(state.tasks), state.conf.num_reducers)
-        n_workers = min(self.num_workers, widest_phase)
-        if self._mp_context is None or n_workers == 1:
-            return self._execute_inline(state)
-        try:
-            with ProcessPoolExecutor(
-                max_workers=n_workers, mp_context=self._mp_context
-            ) as pool:
-                map_futures = [
-                    pool.submit(_map_worker, i)
-                    for i in range(len(state.tasks))
-                ]
-                map_results = [f.result() for f in map_futures]
-                reduce_futures = [
-                    pool.submit(_reduce_worker, part, paths)
-                    for part, paths in self._partition_runs(map_results)
-                ]
-                reduce_results = [f.result() for f in reduce_futures]
-        except JobExecutionError:
-            raise
-        except Exception as exc:
-            # BrokenProcessPool and friends: a worker died without a
-            # Python-level traceback (OOM kill, hard crash).
-            raise JobExecutionError(
-                f"parallel job {state.conf.name!r} lost a worker "
-                f"process: {exc}"
-            ) from exc
-        return map_results, reduce_results
-
-    def _execute_inline(self, state: _JobState) -> Tuple[List, List]:
-        """No-pool fallback: same spill path, executed in-process."""
-        map_results = [_map_worker(i) for i in range(len(state.tasks))]
-        reduce_results = [
-            _reduce_worker(part, paths)
-            for part, paths in self._partition_runs(map_results)
-        ]
-        return map_results, reduce_results
-
-    @staticmethod
-    def _partition_runs(map_results: List) -> List[Tuple[int, List[str]]]:
-        """Reduce-task inputs: partition -> run paths in map-task order."""
-        by_partition: Dict[int, List[Tuple[int, str]]] = {}
-        for task_index, runs, _metrics, _counters in map_results:
-            for part, path in runs.items():
-                by_partition.setdefault(part, []).append((task_index, path))
-        return [
-            (part, [path for _i, path in sorted(entries)])
-            for part, entries in sorted(by_partition.items())
-        ]
-
 
 def resolve_runner(knob: Any = None, conf: Optional[JobConf] = None,
                    default: Any = None) -> Any:
@@ -281,9 +153,9 @@ def resolve_runner(knob: Any = None, conf: Optional[JobConf] = None,
 
     * ``None``       -- honor ``conf.parallelism`` when set (>1 builds a
       :class:`ParallelJobRunner` with that many workers, 1 forces
-      sequential execution), else ``default`` (ultimately the sequential
-      shared runner);
-    * ``int`` *n*    -- *n* workers (1 = sequential);
+      sequential execution, 0 auto-detects the CPU count), else
+      ``default`` (ultimately the sequential shared runner);
+    * ``int`` *n*    -- *n* workers (1 = sequential, 0 = auto-detect);
     * ``"local"`` / ``"parallel"`` -- runner by name;
     * an object with ``run(conf)`` -- returned unchanged.
     """
@@ -291,9 +163,9 @@ def resolve_runner(knob: Any = None, conf: Optional[JobConf] = None,
         if conf is not None and conf.parallelism is not None:
             # parallelism=1 is an explicit request for sequential
             # execution, overriding even a parallel default runner.
-            if conf.parallelism > 1:
-                return ParallelJobRunner(num_workers=conf.parallelism)
-            return LocalJobRunner()
+            if conf.parallelism == 1:
+                return LocalJobRunner()
+            return ParallelJobRunner(num_workers=conf.parallelism)
         if default is not None:
             return default
         from repro.mapreduce.runtime import DEFAULT_RUNNER
@@ -302,9 +174,9 @@ def resolve_runner(knob: Any = None, conf: Optional[JobConf] = None,
     if isinstance(knob, bool):
         raise JobConfigError(f"invalid runner knob {knob!r}")
     if isinstance(knob, int):
-        if knob < 1:
-            raise JobConfigError("parallelism must be >= 1")
-        return ParallelJobRunner(num_workers=knob) if knob > 1 \
+        if knob < 0:
+            raise JobConfigError("parallelism must be >= 0 (0 = auto)")
+        return ParallelJobRunner(num_workers=knob) if knob != 1 \
             else LocalJobRunner()
     if isinstance(knob, str):
         if knob == "local":

@@ -387,9 +387,9 @@ def run_job(conf: JobConf, runner: Optional[Any] = None) -> JobResult:
 
     * ``None`` -- use ``conf.parallelism`` if set (>1 selects a
       :class:`~repro.mapreduce.parallel.ParallelJobRunner` with that many
-      workers, 1 forces sequential), else the sequential
-      :data:`DEFAULT_RUNNER`;
-    * an ``int`` -- worker count (1 means sequential);
+      workers, 1 forces sequential, 0 auto-detects the CPU count), else
+      the sequential :data:`DEFAULT_RUNNER`;
+    * an ``int`` -- worker count (1 means sequential, 0 means auto);
     * ``"local"`` / ``"parallel"`` -- runner by name;
     * any object with a ``run(conf)`` method -- used as-is.
 

@@ -2,6 +2,7 @@
 
 import json
 import os
+import threading
 
 import pytest
 
@@ -73,6 +74,83 @@ class TestRegistry:
             f.write("{not json")
         with pytest.raises(CatalogError):
             Catalog(str(tmp_path))
+
+
+class TestConcurrencySafety:
+    """Two engine submissions must not corrupt or half-read the registry."""
+
+    def test_two_instances_never_lose_updates(self, tmp_path):
+        """Interleaved registrations through separate Catalog objects
+        (one catalog directory shared by two 'processes') all survive."""
+        cat_a = Catalog(str(tmp_path))
+        cat_b = Catalog(str(tmp_path))
+        ids = []
+        for i, cat in enumerate([cat_a, cat_b] * 3):
+            entry = _entry(cat, source=f"/data/in{i}.rf")
+            cat.register(entry)
+            ids.append(entry.index_id)
+        assert len(set(ids)) == 6  # counters never collide either
+        merged = Catalog(str(tmp_path))
+        assert {e.index_id for e in merged.sorted_entries()} == set(ids)
+
+    def test_threaded_registrations_and_touches(self, tmp_path):
+        cat = Catalog(str(tmp_path))
+        seeded = _entry(cat)
+        cat.register(seeded)
+        errors = []
+
+        def writer(i):
+            try:
+                for j in range(5):
+                    cat.register(_entry(cat, source=f"/data/t{i}-{j}.rf"))
+                    cat.touch(seeded.index_id)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(i,))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cat) == 21
+        assert cat.get(seeded.index_id).use_count == 20
+        # The on-disk registry parses cleanly and matches memory.
+        reread = Catalog(str(tmp_path))
+        assert {e.index_id for e in reread.sorted_entries()} == \
+            {e.index_id for e in cat.sorted_entries()}
+
+    def test_save_leaves_no_temp_droppings(self, tmp_path):
+        cat = Catalog(str(tmp_path))
+        for i in range(3):
+            cat.register(_entry(cat, source=f"/data/{i}.rf"))
+        leftovers = [n for n in os.listdir(str(tmp_path))
+                     if n.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_generation_tracks_entry_set_not_touches(self, tmp_path):
+        cat = Catalog(str(tmp_path))
+        g0 = cat.generation
+        entry = _entry(cat)
+        cat.register(entry)
+        g1 = cat.generation
+        assert g1 > g0
+        cat.touch(entry.index_id)
+        assert cat.generation == g1  # LRU touches never invalidate plans
+        cat.remove(entry.index_id)
+        assert cat.generation > g1
+
+    def test_external_registration_observed_on_next_mutation(self, tmp_path):
+        cat_a = Catalog(str(tmp_path))
+        cat_b = Catalog(str(tmp_path))
+        entry = _entry(cat_b)
+        cat_b.register(entry)
+        g = cat_a.generation
+        # cat_a's next transaction re-reads the registry and adopts it.
+        cat_a.register(_entry(cat_a, source="/data/other.rf"))
+        assert cat_a.generation > g
+        assert cat_a.get(entry.index_id).kind == entry.kind
 
 
 class TestQueries:

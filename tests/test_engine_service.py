@@ -1,0 +1,464 @@
+"""Engine layer: analysis/plan caching, DAG scheduling, concurrency.
+
+Covers the caching tier's invalidation contract (identical vs. edited
+mapper bytecode, rewritten source files, catalog generation bumps), the
+DAG scheduler's byte-identity with sequential stage execution, and
+concurrent submissions sharing one Session/engine.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro import Session, col
+from repro.core.manimal import Manimal
+from repro.core.pipeline import ManimalPipeline
+from repro.engine import ExecutionEngine, StageDAG, default_worker_count
+from repro.engine.cache import analysis_fingerprint, fingerprint_spec
+from repro.exceptions import JobConfigError
+from repro.mapreduce import (
+    InMemoryInput,
+    JobConf,
+    LocalJobRunner,
+    RecordFileInput,
+)
+from repro.mapreduce.api import Mapper, Reducer
+from repro.storage.serialization import INT_SCHEMA, STRING_SCHEMA
+from tests.conftest import write_webpages
+
+
+class HighRankMapper(Mapper):
+    def map(self, key, value, ctx):
+        if value.rank > 30:
+            ctx.emit(value.url, value.rank)
+
+
+class HighRankMapperTwin(Mapper):
+    """Byte-for-byte the same map body as HighRankMapper."""
+
+    def map(self, key, value, ctx):
+        if value.rank > 30:
+            ctx.emit(value.url, value.rank)
+
+
+class LowRankMapper(Mapper):
+    """Edited bytecode: same shape, different constant/comparison."""
+
+    def map(self, key, value, ctx):
+        if value.rank < 30:
+            ctx.emit(value.url, value.rank)
+
+
+class ThresholdMapper(Mapper):
+    """Member value folded as a constant -- must key the cache."""
+
+    def __init__(self, threshold=30):
+        self.threshold = threshold
+
+    def map(self, key, value, ctx):
+        if value.rank > self.threshold:
+            ctx.emit(value.url, value.rank)
+
+
+class KeyedSumMapper(Mapper):
+    def map(self, key, value, ctx):
+        ctx.emit(key % 5, value)
+
+
+class CountReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, len(list(values)))
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, sum(values))
+
+
+def _scan_job(path, mapper=HighRankMapper, name="scan", **overrides):
+    defaults = dict(
+        name=name, mapper=mapper, reducer=CountReducer,
+        inputs=[RecordFileInput(str(path))],
+    )
+    defaults.update(overrides)
+    return JobConf(**defaults)
+
+
+def _metrics_without_wall(result):
+    d = result.metrics.to_dict()
+    d.pop("wall_seconds")
+    return d
+
+
+@pytest.fixture
+def engine():
+    engine = ExecutionEngine()
+    yield engine
+    engine.shutdown()
+
+
+class TestAnalysisCache:
+    def test_identical_resubmission_hits(self, tmp_path, engine):
+        path = write_webpages(tmp_path / "w.rf", 50)
+        system = Manimal(str(tmp_path / "cat"), engine=engine)
+        first = system.analyze(_scan_job(path))
+        second = system.analyze(_scan_job(path))
+        stats = engine.analysis_cache.stats()
+        assert stats["misses"] == 1 and stats["hits"] == 1
+        assert first.summary() == second.summary()
+        # A renamed twin with byte-identical methods misses: analyses
+        # record the mapper's name, so the class identity stays in the
+        # key and a cached analysis never reports a stale name.
+        system.analyze(_scan_job(path, mapper=HighRankMapperTwin))
+        stats = engine.analysis_cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 2
+
+    def test_job_name_fixed_up_on_hit(self, tmp_path, engine):
+        path = write_webpages(tmp_path / "w.rf", 50)
+        system = Manimal(str(tmp_path / "cat"), engine=engine)
+        system.analyze(_scan_job(path, name="first"))
+        renamed = system.analyze(_scan_job(path, name="second"))
+        assert engine.analysis_cache.stats()["hits"] == 1
+        assert renamed.job_name == "second"
+
+    def test_edited_bytecode_misses(self, tmp_path, engine):
+        path = write_webpages(tmp_path / "w.rf", 50)
+        system = Manimal(str(tmp_path / "cat"), engine=engine)
+        high = system.analyze(_scan_job(path))
+        low = system.analyze(_scan_job(path, mapper=LowRankMapper))
+        stats = engine.analysis_cache.stats()
+        assert stats["misses"] == 2 and stats["hits"] == 0
+        assert high.inputs[0].selection.formula != \
+            low.inputs[0].selection.formula
+
+    def test_member_value_change_misses(self, tmp_path, engine):
+        path = write_webpages(tmp_path / "w.rf", 50)
+        system = Manimal(str(tmp_path / "cat"), engine=engine)
+        system.analyze(_scan_job(path, mapper=ThresholdMapper(30)))
+        system.analyze(_scan_job(path, mapper=ThresholdMapper(30)))
+        assert engine.analysis_cache.stats()["hits"] == 1
+        # Same bytecode, different folded constant: a different program.
+        system.analyze(_scan_job(path, mapper=ThresholdMapper(99)))
+        stats = engine.analysis_cache.stats()
+        assert stats["misses"] == 2 and stats["hits"] == 1
+
+    def test_rewritten_input_file_invalidates(self, tmp_path, engine):
+        path = write_webpages(tmp_path / "w.rf", 50)
+        system = Manimal(str(tmp_path / "cat"), engine=engine)
+        system.analyze(_scan_job(path))
+        # Rewrite the source file (different record count -> different
+        # size): the schema peek must re-run, not replay stale state.
+        write_webpages(tmp_path / "w.rf", 80)
+        system.analyze(_scan_job(path))
+        stats = engine.analysis_cache.stats()
+        assert stats["misses"] == 2 and stats["hits"] == 0
+
+    def test_unfingerprintable_jobs_run_uncached(self, tmp_path, engine):
+        path = write_webpages(tmp_path / "w.rf", 50)
+
+        class Unstable:
+            pass  # default repr embeds the object address
+
+        mapper = ThresholdMapper(30)
+        mapper.helper = Unstable()
+        conf = _scan_job(path, mapper=mapper)
+        assert analysis_fingerprint(
+            Manimal(str(tmp_path / "cat"), engine=engine).analyzer, conf
+        ) is None
+        system = Manimal(str(tmp_path / "cat"), engine=engine)
+        analysis = system.analyze(conf)
+        assert analysis.inputs[0].selection is not None
+        assert len(engine.analysis_cache) == 0
+
+    def test_pathless_inputs_never_alias(self, tmp_path, engine):
+        """Two jobs differing only in in-memory data must not share a
+        cached plan (the descriptor carries the input *object*)."""
+        system = Manimal(str(tmp_path / "cat"), engine=engine)
+
+        def job(lo):
+            return JobConf(
+                name="mem", mapper=KeyedSumMapper, reducer=SumReducer,
+                inputs=[InMemoryInput([(i, lo + i) for i in range(10)])],
+            )
+
+        a = system.submit(job(0)).result
+        b = system.submit(job(1000)).result
+        assert a.outputs != b.outputs
+        assert dict(b.outputs)[0] >= 1000
+        assert len(engine.analysis_cache) == 0
+        assert len(engine.plan_cache) == 0
+
+    def test_kb_version_keys_the_fingerprint(self, tmp_path, engine):
+        from repro.core.analyzer.purity import DEFAULT_KB
+
+        path = write_webpages(tmp_path / "w.rf", 50)
+        conf = _scan_job(path)
+        base = Manimal(str(tmp_path / "cat"), engine=engine)
+        extended = Manimal(str(tmp_path / "cat2"), engine=engine,
+                           kb=DEFAULT_KB.with_hashtable_support())
+        assert analysis_fingerprint(base.analyzer, conf) != \
+            analysis_fingerprint(extended.analyzer, conf)
+
+
+class TestPlanCache:
+    def _indexed_system(self, tmp_path, engine, n=200):
+        path = write_webpages(tmp_path / "w.rf", n)
+        system = Manimal(str(tmp_path / "cat"), engine=engine)
+        job = _scan_job(path)
+        system.build_indexes(job)
+        return system, job, path
+
+    def test_replanning_hits_and_still_counts_usage(self, tmp_path, engine):
+        system, job, _path = self._indexed_system(tmp_path, engine)
+        first = system.plan(job)
+        assert first.optimized
+        used = [p.entry.index_id for p in first.plans if p.entry is not None]
+        before = {i: system.catalog.get(i).use_count for i in used}
+        second = system.plan(job)
+        assert engine.plan_cache.stats()["hits"] == 1
+        assert second.optimized
+        assert [p.describe() for p in second.plans] == \
+            [p.describe() for p in first.plans]
+        # LRU accounting is identical to uncached planning.
+        for index_id in used:
+            assert system.catalog.get(index_id).use_count == \
+                before[index_id] + 1
+
+    def test_catalog_generation_invalidates(self, tmp_path, engine):
+        system, job, _path = self._indexed_system(tmp_path, engine)
+        system.plan(job)
+        entry = system.catalog.sorted_entries()[0]
+        system.catalog.remove(entry.index_id)
+        replanned = system.plan(job)
+        assert engine.plan_cache.stats()["misses"] >= 2
+        assert entry.index_id not in {
+            p.entry.index_id for p in replanned.plans if p.entry is not None
+        }
+
+    def test_rewritten_source_file_invalidates(self, tmp_path, engine):
+        system, job, path = self._indexed_system(tmp_path, engine)
+        system.plan(job)
+        write_webpages(tmp_path / "w.rf", 321)
+        system.plan(job)
+        stats = engine.plan_cache.stats()
+        assert stats["hits"] == 0 and stats["misses"] == 2
+
+    def test_hinted_analyses_plan_uncached(self, tmp_path, engine):
+        system, job, _path = self._indexed_system(tmp_path, engine)
+        hints = system.analyzer.analyze_job(job)  # bypasses the engine
+        descriptor = system.plan(job, analysis=hints)
+        assert descriptor.optimized
+        assert len(engine.plan_cache) == 0
+
+
+def _stage(path, out=None, name="stage", mapper=HighRankMapper,
+           reducer=CountReducer):
+    conf = dict(name=name, mapper=mapper, reducer=reducer,
+                inputs=[RecordFileInput(str(path))])
+    if out is not None:
+        conf.update(output_path=str(out), output_key_schema=STRING_SCHEMA,
+                    output_value_schema=INT_SCHEMA)
+    return JobConf(**conf)
+
+
+class MidMapper(Mapper):
+    """Consumes (url, count) intermediate records."""
+
+    def map(self, key, value, ctx):
+        ctx.emit(key.value, value.value)
+
+
+class TestStageDAG:
+    def test_diamond_waves(self, tmp_path):
+        src = write_webpages(tmp_path / "src.rf", 30)
+        mid_a = tmp_path / "a.rf"
+        mid_b = tmp_path / "b.rf"
+        stages = [
+            _stage(src, mid_a, name="head"),
+            _stage(mid_a, mid_b, name="left", mapper=MidMapper,
+                   reducer=SumReducer),
+            _stage(mid_a, name="right", mapper=MidMapper),
+            _stage(mid_b, name="tail", mapper=MidMapper),
+        ]
+        system = Manimal(str(tmp_path / "cat"))
+        pipe = ManimalPipeline(system, stages)
+        dag = pipe.dag()
+        assert dag.waves() == [[0], [1, 2], [3]]
+        assert dag.width() == 2
+        assert "wave 1" in dag.describe()
+
+    def test_write_write_and_write_after_read_ordered(self, tmp_path):
+        src = write_webpages(tmp_path / "src.rf", 30)
+        out = tmp_path / "out.rf"
+        stages = [
+            _stage(src, out, name="w1"),
+            _stage(src, out, name="w2"),          # write-write on out
+            _stage(out, name="r", mapper=MidMapper),
+            _stage(src, out, name="w3"),          # overwrites what r reads
+        ]
+        dag = StageDAG.from_stages(stages, {0: [], 1: [], 2: [1], 3: []})
+        assert dag.deps[1] == {0}
+        assert dag.deps[2] == {1}
+        assert dag.deps[3] == {0, 1, 2}
+        assert dag.waves() == [[0], [1], [2], [3]]
+
+    def test_independent_stages_share_a_wave(self, tmp_path):
+        a = write_webpages(tmp_path / "a.rf", 30)
+        b = write_webpages(tmp_path / "b.rf", 30)
+        dag = StageDAG.from_stages(
+            [_stage(a, name="sa"), _stage(b, name="sb")], {0: [], 1: []}
+        )
+        assert dag.waves() == [[0, 1]]
+
+    def test_unknown_scheduler_rejected(self, tmp_path):
+        path = write_webpages(tmp_path / "w.rf", 30)
+        system = Manimal(str(tmp_path / "cat"))
+        pipe = ManimalPipeline(system, [_stage(path)])
+        with pytest.raises(JobConfigError, match="scheduler"):
+            pipe.submit(scheduler="waves")
+
+
+class TestDagByteIdentity:
+    """Acceptance: engine-scheduled pipelines == sequential, exactly."""
+
+    def _diamond(self, tmp_path, tag):
+        src = write_webpages(tmp_path / "src.rf", 200)
+        mid_a = tmp_path / f"a-{tag}.rf"
+        mid_b = tmp_path / f"b-{tag}.rf"
+        stages = [
+            _stage(src, mid_a, name="head"),
+            _stage(mid_a, mid_b, name="left", mapper=MidMapper,
+                   reducer=SumReducer),
+            _stage(mid_a, name="right", mapper=MidMapper,
+                   reducer=SumReducer),
+            _stage(mid_b, name="tail", mapper=MidMapper),
+        ]
+        system = Manimal(str(tmp_path / f"cat-{tag}"))
+        return ManimalPipeline(system, stages)
+
+    def test_dag_outputs_counters_metrics_identical(self, tmp_path):
+        seq = self._diamond(tmp_path, "seq").submit()
+        dag = self._diamond(tmp_path, "dag").submit(scheduler="dag")
+        assert len(dag) == len(seq) == 4
+        for s, d in zip(seq, dag):
+            assert d.outcome.result.outputs == s.outcome.result.outputs
+            assert d.outcome.result.counters.to_dict() == \
+                s.outcome.result.counters.to_dict()
+            assert _metrics_without_wall(d.outcome.result) == \
+                _metrics_without_wall(s.outcome.result)
+            assert d.upstream == s.upstream
+
+    def test_dag_with_parallel_runner_identical(self, tmp_path):
+        seq = self._diamond(tmp_path, "s2").submit()
+        dag = self._diamond(tmp_path, "d2").submit(scheduler="dag", runner=2)
+        for s, d in zip(seq, dag):
+            assert d.outcome.result.outputs == s.outcome.result.outputs
+            assert _metrics_without_wall(d.outcome.result) == \
+                _metrics_without_wall(s.outcome.result)
+
+    def test_dag_failure_is_deterministic(self, tmp_path):
+        a = write_webpages(tmp_path / "a.rf", 30)
+        system = Manimal(str(tmp_path / "cat"))
+        missing = _stage(tmp_path / "nope.rf", name="missing")
+        pipe = ManimalPipeline(system, [_stage(a, name="ok"), missing])
+        with pytest.raises(Exception):
+            pipe.submit(scheduler="dag")
+
+    def test_fluent_join_dag_matches_sequential(self, tmp_path):
+        left = write_webpages(tmp_path / "l.rf", 120)
+        right = write_webpages(tmp_path / "r.rf", 120)
+        with Session(workdir=str(tmp_path / "sess")) as session:
+            pages = session.read(str(left)).select("url", "rank")
+            ranks = session.read(str(right)).select("url", "rank")
+            joined = pages.join(ranks, on="url")
+            assert joined.collect(scheduler="dag") == joined.collect()
+
+
+class TestConcurrentSubmissions:
+    def test_threads_share_one_session(self, tmp_path):
+        """Byte-identity and merged metrics under concurrent clients."""
+        path = write_webpages(tmp_path / "w.rf", 300)
+        with Session(workdir=str(tmp_path / "sess")) as session:
+            query = session.read(str(path)).filter(col("rank") > 20)
+            expected_rows = query.collect()
+            expected_metrics = _metrics_without_wall(query.run().result)
+
+            results = {}
+            errors = []
+
+            def client(i):
+                try:
+                    result = query.run(parallelism=2)
+                    results[i] = (
+                        result.rows, _metrics_without_wall(result.result)
+                    )
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=client, args=(i,)) for i in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            assert len(results) == 4
+            for rows, metrics in results.values():
+                assert rows == expected_rows
+                assert metrics == expected_metrics
+
+    def test_threads_share_one_manimal(self, tmp_path, engine):
+        path = write_webpages(tmp_path / "w.rf", 300)
+        system = Manimal(str(tmp_path / "cat"), engine=engine)
+        job = _scan_job(path)
+        expected = system.submit(job).result
+
+        outcomes = {}
+
+        def client(i):
+            outcomes[i] = system.submit(job, runner=2).result
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(outcomes) == 4
+        for result in outcomes.values():
+            assert result.outputs == expected.outputs
+            assert result.counters.to_dict() == expected.counters.to_dict()
+            assert _metrics_without_wall(result) == \
+                _metrics_without_wall(expected)
+        # Every submission after the first reused the cached analysis.
+        assert engine.analysis_cache.stats()["hits"] >= 4
+
+
+class TestEngineService:
+    def test_default_worker_count_positive(self):
+        assert default_worker_count() >= 1
+
+    def test_stats_shape(self, engine):
+        stats = engine.stats()
+        assert set(stats) == {"pool", "analysis_cache", "plan_cache"}
+
+    def test_clear_caches(self, tmp_path, engine):
+        path = write_webpages(tmp_path / "w.rf", 40)
+        system = Manimal(str(tmp_path / "cat"), engine=engine)
+        system.analyze(_scan_job(path))
+        assert len(engine.analysis_cache) == 1
+        engine.clear_caches()
+        assert len(engine.analysis_cache) == 0
+
+    def test_sessions_share_the_default_engine(self, tmp_path):
+        with Session(workdir=str(tmp_path / "s1")) as s1, \
+                Session(workdir=str(tmp_path / "s2")) as s2:
+            assert s1.engine is s2.engine
+
+    def test_isolated_engine_opt_in(self, tmp_path, engine):
+        with Session(workdir=str(tmp_path / "s1"), engine=engine) as session:
+            assert session.engine is engine

@@ -305,9 +305,20 @@ class TestRunnerKnob:
                                 default=ParallelJobRunner(num_workers=4))
         assert isinstance(runner, LocalJobRunner)
 
+    def test_resolve_runner_zero_means_auto(self):
+        # parallelism=0 auto-detects the CPU count (documented default).
+        from repro.engine import default_worker_count
+
+        runner = resolve_runner(0)
+        assert isinstance(runner, ParallelJobRunner)
+        assert runner.num_workers == default_worker_count()
+        via_conf = resolve_runner(None, conf=in_memory_conf(parallelism=0))
+        assert isinstance(via_conf, ParallelJobRunner)
+        assert via_conf.num_workers == default_worker_count()
+
     def test_resolve_runner_rejects_garbage(self):
         with pytest.raises(JobConfigError):
-            resolve_runner(0)
+            resolve_runner(-1)
         with pytest.raises(JobConfigError):
             resolve_runner("cluster")
         with pytest.raises(JobConfigError):
@@ -324,9 +335,9 @@ class TestRunnerKnob:
 
     def test_invalid_parallelism_rejected(self):
         with pytest.raises(JobConfigError):
-            in_memory_conf(parallelism=0)
+            in_memory_conf(parallelism=-1)
         with pytest.raises(JobConfigError):
-            ParallelJobRunner(num_workers=0)
+            ParallelJobRunner(num_workers=-1)
 
     def test_with_inputs_preserves_parallelism(self):
         conf = in_memory_conf(parallelism=4)
