@@ -63,6 +63,7 @@ from repro.mapreduce import (
     Mapper,
     PAPER_CLUSTER,
     ParallelJobRunner,
+    PartitionedInput,
     RecordFileInput,
     Reducer,
     run_job,
@@ -89,6 +90,7 @@ __all__ = [
     "Mapper",
     "PAPER_CLUSTER",
     "ParallelJobRunner",
+    "PartitionedInput",
     "Record",
     "RecordFileInput",
     "Reducer",

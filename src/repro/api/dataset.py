@@ -28,7 +28,6 @@ from repro.api.plan import (
     LogicalNode,
     LoweredPlan,
     MapNode,
-    ScanNode,
     SelectNode,
 )
 from repro.core.optimizer.planner import ExecutionDescriptor
@@ -234,15 +233,32 @@ class Dataset:
                         scheduler=scheduler).rows
 
     def write(self, path: str, build_indexes: bool = False,
-              parallelism: Optional[int] = None) -> DatasetResult:
+              parallelism: Optional[int] = None,
+              partition_by: Optional[str] = None,
+              num_partitions: Optional[int] = None) -> DatasetResult:
         """Run and write the result to ``path`` as a record file.
 
         Rows are written in key-sorted order, so the bytes on disk do not
         depend on which execution plan the optimizer chose or which
         runner executed it.
+
+        Pass ``partition_by`` (a value column) and/or ``num_partitions``
+        to write a *partitioned dataset* instead: a directory of record
+        files plus a per-partition statistics sidecar (record counts,
+        byte sizes, min/max zone maps), registered in the session
+        catalog.  Selective queries over ``session.read(path)`` then
+        prune partitions whose zone maps exclude the predicate before
+        reading them::
+
+            ds.write("rankings.parts", partition_by="pagerank",
+                     num_partitions=16)
+            pruned = session.read("rankings.parts")
+            pruned.filter(col("pagerank") > 990).collect()   # reads ~1/16
         """
         return self._session.write(self, path, build_indexes=build_indexes,
-                                   parallelism=parallelism)
+                                   parallelism=parallelism,
+                                   partition_by=partition_by,
+                                   num_partitions=num_partitions)
 
     def build_indexes(self, allowed_kinds: Optional[Sequence[str]] = None):
         """Admin action: build indexes for this query's base inputs."""

@@ -20,7 +20,7 @@ Every expression supports three renderings:
 
 from __future__ import annotations
 
-from typing import Any, FrozenSet, List, Sequence, Tuple
+from typing import Any, FrozenSet, Sequence, Tuple
 
 from repro.core.analyzer.conditions import (
     Conjunct,

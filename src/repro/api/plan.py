@@ -59,8 +59,9 @@ from repro.mapreduce.api import (
     FunctionReducer,
     Reducer,
 )
-from repro.mapreduce.formats import RecordFileInput
+from repro.mapreduce.formats import PartitionedInput, RecordFileInput
 from repro.mapreduce.job import JobConf
+from repro.storage.partitioned import is_partitioned_dataset
 from repro.storage.serialization import (
     Field,
     FieldType,
@@ -208,6 +209,19 @@ class JoinNode(LogicalNode):
 # ---------------------------------------------------------------------------
 # Synthesized-function compilation (linecache-backed, analyzer-inspectable)
 # ---------------------------------------------------------------------------
+
+def scan_input(path: str, tag: Optional[str] = None):
+    """The input source scanning ``path``: partition-aware when it is one.
+
+    Base scans over a partitioned dataset directory lower to
+    :class:`~repro.mapreduce.formats.PartitionedInput`, so the planner
+    can prune partitions against the stage's selection hints;
+    intermediate stage files stay plain record files.
+    """
+    if is_partitioned_dataset(path):
+        return PartitionedInput(path, tag=tag)
+    return RecordFileInput(path, tag=tag)
+
 
 def compile_stage_function(name: str, source: str,
                            env: Dict[str, Any]) -> Callable:
@@ -596,7 +610,7 @@ class _Lowering:
             name=stage_name,
             mapper=mapper,
             reducer=None,
-            inputs=[RecordFileInput(self._input_of(chain))],
+            inputs=[scan_input(self._input_of(chain))],
             num_reducers=self.num_reducers,
         )
         hints = JobAnalysis(
@@ -652,7 +666,7 @@ class _Lowering:
             name=stage_name,
             mapper=mapper,
             reducer=reducer,
-            inputs=[RecordFileInput(self._input_of(chain))],
+            inputs=[scan_input(self._input_of(chain))],
             num_reducers=self.num_reducers,
         )
         self._materialize(conf, stage_name, out_key_schema, out_value_schema)
@@ -823,8 +837,8 @@ class _Lowering:
             mapper=left_mapper,
             reducer=reducer,
             inputs=[
-                RecordFileInput(self._input_of(left), tag="left"),
-                RecordFileInput(self._input_of(right), tag="right"),
+                scan_input(self._input_of(left), tag="left"),
+                scan_input(self._input_of(right), tag="right"),
             ],
             per_input_mappers={"left": left_mapper, "right": right_mapper},
             num_reducers=self.num_reducers,

@@ -24,12 +24,24 @@ from repro.api.plan import FLUENT_KB, LoweredPlan, ScanNode, lower_plan
 from repro.core.analyzer.analyzer import peek_schemas
 from repro.core.analyzer.descriptors import JobAnalysis
 from repro.core.manimal import Manimal
-from repro.core.optimizer.catalog import IndexEntry
+from repro.core.optimizer.catalog import DatasetEntry, IndexEntry
 from repro.core.pipeline import ManimalPipeline
-from repro.exceptions import JobConfigError
+from repro.exceptions import JobConfigError, SerializationError
 from repro.mapreduce.formats import RecordFileInput
 from repro.mapreduce.runtime import _coerce
+from repro.storage.partitioned import (
+    PartitionedDatasetInfo,
+    is_partitioned_dataset,
+    read_partitioned_info,
+    validate_partition_by,
+    write_partitioned_dataset,
+)
 from repro.storage.recordfile import RecordFileWriter
+
+
+#: Partition count used when ``partition_by`` is given without an
+#: explicit ``num_partitions``.
+DEFAULT_NUM_PARTITIONS = 8
 
 
 class Session:
@@ -111,9 +123,21 @@ class Session:
     # -- dataset creation ------------------------------------------------------
 
     def read(self, path: str) -> Dataset:
-        """A Dataset scanning one record file (schemas read from its header)."""
+        """A Dataset scanning one record file or partitioned dataset.
+
+        ``path`` may be a single record file (schemas read from its
+        header) or a partition directory written by
+        :meth:`write`/``Dataset.write(partition_by=...)`` (schemas read
+        from the statistics sidecar; filters over it are served with
+        zone-map partition pruning).
+        """
         if not os.path.exists(path):
             raise JobConfigError(f"record file {path!r} does not exist")
+        if is_partitioned_dataset(path):
+            info = read_partitioned_info(path)
+            return Dataset(
+                self, ScanNode(path, info.key_schema, info.value_schema)
+            )
         key_schema, value_schema = peek_schemas(RecordFileInput(path))
         return Dataset(self, ScanNode(path, key_schema, value_schema))
 
@@ -172,12 +196,23 @@ class Session:
 
     def write(self, dataset: Dataset, path: str,
               build_indexes: bool = False,
-              parallelism: Optional[int] = None) -> DatasetResult:
+              parallelism: Optional[int] = None,
+              partition_by: Optional[str] = None,
+              num_partitions: Optional[int] = None) -> DatasetResult:
         """Run a Dataset and write its rows, key-sorted, to ``path``.
 
         Rows are written in key-sorted order, so the bytes on disk do not
         depend on the execution plan chosen *or* on the runner
         (sequential vs parallel) that produced them.
+
+        With ``partition_by`` and/or ``num_partitions``, ``path`` becomes
+        a *partition directory* instead of a single file: record files
+        plus a one-pass statistics sidecar (record counts, byte sizes,
+        per-field zone maps), registered in the session catalog.
+        ``partition_by`` names a value column (range layout, equi-depth
+        bounds from the data -- the layout that lets selective reads
+        prune); without it records are hash-routed by key across
+        ``num_partitions`` partitions.
         """
         key_schema, value_schema = dataset._final_schemas()
         if key_schema is None or value_schema is None:
@@ -185,14 +220,64 @@ class Session:
                 "cannot write: output schemas are unknown; pass "
                 "key_schema/value_schema to the final map()"
             )
+        # Validate the partitioning request against the known output
+        # schema *before* executing the query: a typo'd column or a bad
+        # partition count must fail free, not after a full (possibly
+        # parallel, index-building) run.
+        if num_partitions is not None and num_partitions < 1:
+            raise JobConfigError("num_partitions must be >= 1")
+        try:
+            validate_partition_by(value_schema, partition_by)
+        except SerializationError as exc:
+            raise JobConfigError(str(exc)) from exc
         result = self.run(dataset, build_indexes=build_indexes,
                           parallelism=parallelism)
-        with RecordFileWriter(path, key_schema, value_schema) as writer:
-            for key, value in result.result.sorted_outputs():
-                writer.append(
-                    _coerce(key, key_schema), _coerce(value, value_schema)
-                )
+        if partition_by is None and num_partitions is None:
+            with RecordFileWriter(path, key_schema, value_schema) as writer:
+                for key, value in result.result.sorted_outputs():
+                    writer.append(
+                        _coerce(key, key_schema),
+                        _coerce(value, value_schema),
+                    )
+            return result
+        self._write_partitioned(
+            path, key_schema, value_schema,
+            [
+                (_coerce(key, key_schema), _coerce(value, value_schema))
+                for key, value in result.result.sorted_outputs()
+            ],
+            partition_by=partition_by,
+            num_partitions=(
+                num_partitions if num_partitions is not None
+                else DEFAULT_NUM_PARTITIONS
+            ),
+        )
         return result
+
+    def _write_partitioned(self, path, key_schema, value_schema, rows,
+                           partition_by: Optional[str],
+                           num_partitions: int) -> PartitionedDatasetInfo:
+        """Write a partition directory and register it in the catalog."""
+        info = write_partitioned_dataset(
+            path, key_schema, value_schema, rows,
+            num_partitions=num_partitions,
+            partition_by=partition_by,
+        )
+        catalog = self.system.catalog
+        catalog.register_dataset(
+            DatasetEntry(
+                dataset_id=catalog.make_dataset_id(),
+                path=os.path.abspath(path),
+                partition_by=info.partition_by,
+                mode=info.mode,
+                num_partitions=info.num_partitions,
+                stats={
+                    "records": info.total_records,
+                    "bytes": info.total_bytes,
+                },
+            )
+        )
+        return info
 
     # -- admin / introspection ---------------------------------------------------
 

@@ -47,6 +47,7 @@ from repro.mapreduce.formats import (
     DeltaFileInput,
     DictionaryFileInput,
     InputSource,
+    PartitionedInput,
     ProjectedFileInput,
     RecordFileInput,
     SelectionIndexInput,
@@ -151,6 +152,9 @@ def peek_schemas(source: InputSource) -> Tuple[Optional[Schema], Optional[Schema
         if isinstance(source, (ProjectedFileInput, RecordFileInput)):
             with RecordFileReader(source.path) as reader:
                 return reader.key_schema, reader.value_schema
+        if isinstance(source, PartitionedInput):
+            info = source.info()
+            return info.key_schema, info.value_schema
         if isinstance(source, DeltaFileInput):
             with DeltaFileReader(source.path) as reader:
                 return reader.key_schema, reader.value_schema

@@ -11,7 +11,7 @@ cycle detection, and enumeration of all entry-to-statement paths used by
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.analyzer.ir import Expr, Stmt
 

@@ -13,7 +13,7 @@ dependent def statements inside the map()."
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.analyzer import ir
 from repro.core.analyzer.cfg import CFG

@@ -20,7 +20,7 @@ never a guess.
 from __future__ import annotations
 
 import ast
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.core.analyzer import ir
 from repro.core.analyzer.cfg import CFG, BasicBlock, CondJump, ExitTerm, Jump

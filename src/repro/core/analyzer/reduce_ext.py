@@ -36,7 +36,6 @@ from typing import List, Optional, Tuple
 from repro.core.analyzer.conditions import (
     Conjunct,
     MemberEnv,
-    ROLE_KEY,
     ROLE_VALUE,
     SelectionFormula,
     SymbolicResolver,

@@ -103,6 +103,34 @@ class IndexEntry:
         return cls(**data)
 
 
+@dataclass
+class DatasetEntry:
+    """One registered partitioned dataset (alongside the index entries).
+
+    The partition directory's sidecar (see
+    :mod:`repro.storage.partitioned`) is the source of truth for zone
+    maps; the catalog entry is the registry row that makes the dataset
+    discoverable by path and carries summary statistics for the
+    cost-based optimizer and space reporting.
+    """
+
+    dataset_id: str
+    #: the partition directory
+    path: str
+    partition_by: Optional[str] = None
+    mode: str = "hash"
+    num_partitions: int = 0
+    #: byte/record statistics for reporting (records, bytes)
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DatasetEntry":
+        return cls(**data)
+
+
 class Catalog:
     """Load/store index entries under a catalog directory.
 
@@ -137,6 +165,7 @@ class Catalog:
         #: re-entrant: mutation helpers nest under the public operations
         self._lock = threading.RLock()
         self._entries: Dict[str, IndexEntry] = {}
+        self._datasets: Dict[str, DatasetEntry] = {}
         self._counter = 0
         self._clock = 0
         #: bumped whenever the entry *set* changes (register/remove/evict,
@@ -180,9 +209,9 @@ class Catalog:
         """Adopt external changes from disk (lock held by caller)."""
         if not os.path.exists(self._path):
             return
-        before = sorted(self._entries)
+        before = (sorted(self._entries), sorted(self._datasets))
         self._load()
-        if sorted(self._entries) != before:
+        if (sorted(self._entries), sorted(self._datasets)) != before:
             self.generation += 1
 
     def _load(self) -> None:
@@ -196,6 +225,10 @@ class Catalog:
         for raw in data.get("entries", []):
             entry = IndexEntry.from_dict(raw)
             self._entries[entry.index_id] = entry
+        self._datasets = {}
+        for raw in data.get("datasets", []):
+            ds = DatasetEntry.from_dict(raw)
+            self._datasets[ds.dataset_id] = ds
 
     def _read_registry(self) -> Dict[str, Any]:
         """Parse ``catalog.json``, retrying on a torn/partial read."""
@@ -225,6 +258,7 @@ class Catalog:
             "counter": self._counter,
             "clock": self._clock,
             "entries": [e.to_dict() for e in self.sorted_entries()],
+            "datasets": [d.to_dict() for d in self.sorted_datasets()],
         }
         # Unique temp name per writer: two processes saving concurrently
         # must not scribble over one shared ".tmp" path.
@@ -340,6 +374,52 @@ class Catalog:
                 raise CatalogError(f"no index {index_id!r}")
             self.generation += 1
             self._save()
+
+    # -- partitioned datasets ----------------------------------------------------
+
+    def register_dataset(self, entry: DatasetEntry) -> None:
+        """Register a partitioned dataset (alongside the index entries).
+
+        Re-registering a path replaces the previous entry: a rewritten
+        dataset invalidates whatever the old sidecar said.
+        """
+        with self._mutate():
+            path = os.path.abspath(entry.path)
+            stale = [
+                ds.dataset_id
+                for ds in self._datasets.values()
+                if os.path.abspath(ds.path) == path
+            ]
+            for dataset_id in stale:
+                del self._datasets[dataset_id]
+            self._datasets[entry.dataset_id] = entry
+            self.generation += 1
+            self._save()
+
+    def make_dataset_id(self) -> str:
+        with self._mutate():
+            self._counter += 1
+            self._save()
+            return f"dataset-{self._counter:05d}"
+
+    def remove_dataset(self, dataset_id: str) -> None:
+        with self._mutate():
+            if self._datasets.pop(dataset_id, None) is None:
+                raise CatalogError(f"no dataset {dataset_id!r}")
+            self.generation += 1
+            self._save()
+
+    def sorted_datasets(self) -> List[DatasetEntry]:
+        with self._lock:
+            return [self._datasets[k] for k in sorted(self._datasets)]
+
+    def dataset_for(self, path: str) -> Optional[DatasetEntry]:
+        """The registered dataset at ``path``, or None."""
+        target = os.path.abspath(path)
+        for ds in self.sorted_datasets():
+            if os.path.abspath(ds.path) == target:
+                return ds
+        return None
 
     # -- queries ----------------------------------------------------------------
 

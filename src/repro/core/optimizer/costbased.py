@@ -22,16 +22,25 @@ records.  The ablation bench constructs exactly that scenario.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any, Optional
 
 from repro.core.analyzer.descriptors import InputAnalysis
 from repro.core.optimizer import catalog as cat
-from repro.core.optimizer.catalog import Catalog, IndexEntry
+from repro.core.optimizer.catalog import Catalog
 from repro.core.optimizer.planner import InputPlan, Optimizer
-from repro.core.optimizer.predicates import compile_selection
+from repro.core.optimizer.pruning import (
+    PruneResult,
+    SelectionCompiler,
+    prune_partitions,
+)
 from repro.mapreduce.cost import CostModel, PAPER_CLUSTER
-from repro.mapreduce.formats import RecordFileInput
+from repro.mapreduce.formats import PartitionedInput, RecordFileInput
 from repro.mapreduce.metrics import JobMetrics
+from repro.storage.partitioned import (
+    freshness_token,
+    is_partitioned_dataset,
+    read_partitioned_info,
+)
 from repro.storage.recordfile import RecordFileReader
 
 
@@ -68,15 +77,27 @@ class CostBasedOptimizer(Optimizer):
                              ia: InputAnalysis) -> float:
         """Fraction of records passing the job's selection formula.
 
-        Measured on a head sample of the base file; cached per
-        (file, formula) pair.  Returns 1.0 when there is no formula.
+        Partitioned datasets answer from their statistics sidecar (zone
+        maps bound how many records can possibly pass -- no data file is
+        opened); plain record files fall back to evaluating the formula
+        on a head sample.  Cached per (path, formula, file size+mtime),
+        so rewriting an input in place invalidates the entry.  Returns
+        1.0 when there is no formula.
         """
         if ia.selection is None:
             return 1.0
+        # One slot per (path, formula); the freshness token lives in the
+        # *value* so rewrites replace the entry instead of stranding an
+        # unreachable key per rewrite.
         key = (source_path, repr(ia.selection.formula))
+        token = freshness_token(source_path)
         cached = self._selectivity_cache.get(key)
-        if cached is not None:
-            return cached
+        if cached is not None and cached[0] == token:
+            return cached[1]
+        if is_partitioned_dataset(source_path):
+            selectivity = self._sidecar_selectivity(source_path, ia)
+            self._selectivity_cache[key] = (token, selectivity)
+            return selectivity
         passed = 0
         total = 0
         with RecordFileReader(source_path) as reader:
@@ -91,11 +112,32 @@ class CostBasedOptimizer(Optimizer):
                     # Evaluation hiccups mean we know nothing: assume the
                     # filter keeps everything (the pessimistic direction
                     # for selection indexes).
-                    self._selectivity_cache[key] = 1.0
+                    self._selectivity_cache[key] = (token, 1.0)
                     return 1.0
         selectivity = (passed / total) if total else 1.0
-        self._selectivity_cache[key] = selectivity
+        self._selectivity_cache[key] = (token, selectivity)
         return selectivity
+
+    def _sidecar_selectivity(self, source_path: str, ia: InputAnalysis,
+                             info: Any = None,
+                             result: Optional[PruneResult] = None) -> float:
+        """Upper-bound selectivity from partition statistics alone.
+
+        Zone maps prove which partitions can hold qualifying records;
+        the surviving record share bounds the selection's selectivity
+        without reading a single data byte.  Callers that already hold
+        the sidecar/prune result (the planning hook) pass them in; the
+        ``estimate_selectivity`` path loads them here.
+        """
+        if info is None:
+            info = read_partitioned_info(source_path)
+        total = info.total_records
+        if total == 0:
+            return 1.0
+        if result is None:
+            result = prune_partitions(SelectionCompiler(ia), info)
+        kept = sum(p.records for p in result.kept)
+        return kept / total
 
     def estimate_plan_cost(self, source: RecordFileInput, ia: InputAnalysis,
                            plan: InputPlan) -> float:
@@ -151,10 +193,19 @@ class CostBasedOptimizer(Optimizer):
 
     def estimate_unoptimized_cost(self, source: RecordFileInput,
                                   ia: InputAnalysis) -> float:
-        """Simulated map-phase seconds for the plain full scan."""
-        with RecordFileReader(source.path) as reader:
-            size = reader.file_size()
-            records = reader.count_records()
+        """Simulated map-phase seconds for the plain full scan.
+
+        Partitioned inputs answer from sidecar statistics (total bytes
+        and records are already recorded); plain files stat and
+        block-count the file.
+        """
+        if isinstance(source, PartitionedInput):
+            info = source.info()
+            size, records = info.total_bytes, info.total_records
+        else:
+            with RecordFileReader(source.path) as reader:
+                size = reader.file_size()
+                records = reader.count_records()
         n_fields = (
             len(ia.value_schema.fields) if ia.value_schema is not None else 1
         )
@@ -166,3 +217,36 @@ class CostBasedOptimizer(Optimizer):
         )
         sim = self.cost_model.simulate(metrics)
         return sim.total_s - sim.startup_s
+
+    # -- partitioned inputs -------------------------------------------------------
+
+    def _annotate_partition_plan(self, plan: InputPlan,
+                                 source: PartitionedInput, ia: InputAnalysis,
+                                 result: PruneResult) -> None:
+        """Report the sidecar-derived cost estimate on pruning plans.
+
+        This is where the cost-based optimizer swaps head-of-file
+        sampling for sidecar statistics: both the selectivity bound and
+        the byte/record volumes come from ``_partitions.json``.
+        """
+        info = source.info()
+        kept_records = sum(p.records for p in result.kept)
+        kept_bytes = sum(p.bytes for p in result.kept)
+        n_fields = (
+            len(ia.value_schema.fields) if ia.value_schema is not None else 1
+        )
+        metrics = JobMetrics(
+            map_input_records=kept_records,
+            map_input_stored_bytes=kept_bytes,
+            map_input_logical_bytes=kept_bytes,
+            fields_deserialized=kept_records * n_fields,
+        )
+        sim = self.cost_model.simulate(metrics)
+        cost = sim.total_s - sim.startup_s
+        bound = self._sidecar_selectivity(
+            source.path, ia, info=info, result=result
+        )
+        plan.detail += (
+            f" [sidecar stats: selectivity <= {bound:.3f}, "
+            f"estimated map cost {cost:.2f}s]"
+        )

@@ -28,17 +28,26 @@ from typing import List, Optional
 from repro.core.analyzer.descriptors import InputAnalysis, JobAnalysis
 from repro.core.optimizer import catalog as cat
 from repro.core.optimizer.catalog import Catalog, IndexEntry
-from repro.core.optimizer.predicates import compile_selection
+from repro.core.optimizer.pruning import (
+    SelectionCompiler,
+    PruneResult,
+    prune_partitions,
+)
 from repro.mapreduce.formats import (
     DeltaFileInput,
     DictionaryFileInput,
     InMemoryInput,
     InputSource,
+    PartitionedInput,
     ProjectedFileInput,
     RecordFileInput,
     SelectionIndexInput,
 )
 from repro.mapreduce.job import JobConf
+
+#: Optimization label for zone-map partition pruning (not an index kind:
+#: it needs no catalog entry, only the dataset's statistics sidecar).
+PARTITION_PRUNING = "partition-pruning"
 
 #: Hard-coded applicability ranking (paper Section 2.2).
 RANKING = (
@@ -64,13 +73,21 @@ class InputPlan:
 
     @property
     def optimized(self) -> bool:
-        return self.entry is not None
+        return self.entry is not None or bool(self.optimizations)
 
     def describe(self) -> str:
         if not self.optimized:
-            return f"input[{self.input_index}]: unoptimized {self.original.describe()}"
+            line = (
+                f"input[{self.input_index}]: unoptimized "
+                f"{self.original.describe()}"
+            )
+            if self.detail:
+                line += f" ({self.detail})"
+            return line
+        label = self.entry.kind if self.entry is not None \
+            else "+".join(self.optimizations)
         return (
-            f"input[{self.input_index}]: {self.entry.kind} via "
+            f"input[{self.input_index}]: {label} via "
             f"{self.chosen.describe()} ({self.detail})"
         )
 
@@ -133,6 +150,11 @@ class Optimizer:
         unoptimized = InputPlan(
             input_index=index, original=source, chosen=source
         )
+        # Partitioned datasets carry their own statistics sidecar; the
+        # selection descriptor is compiled once and checked against each
+        # partition's zone maps before anything is read.
+        if isinstance(source, PartitionedInput):
+            return self._plan_partitioned(index, source, ia)
         # Only plain record-file scans can be redirected at an index; jobs
         # already reading an optimized format pass through untouched.
         if type(source) is not RecordFileInput:
@@ -149,14 +171,20 @@ class Optimizer:
 
     def applicable_plans(self, index: int, source: RecordFileInput,
                          ia: InputAnalysis) -> List[InputPlan]:
-        """Every applicable (index, input-format) plan, in ranking order."""
+        """Every applicable (index, input-format) plan, in ranking order.
+
+        One :class:`SelectionCompiler` serves every candidate entry, so
+        ``compile_selection`` runs at most once per indexed field no
+        matter how many catalog entries share it.
+        """
+        compiled = SelectionCompiler(ia)
         plans: List[InputPlan] = []
         candidates = self.catalog.entries_for(source.path)
         for kind in RANKING:
             for entry in candidates:
                 if entry.kind != kind:
                     continue
-                plan = self._try_apply(index, source, ia, entry)
+                plan = self._try_apply(index, source, ia, entry, compiled)
                 if plan is not None:
                     plans.append(plan)
         return plans
@@ -168,13 +196,49 @@ class Optimizer:
         plans = self.applicable_plans(index, source, ia)
         return plans[0] if plans else None
 
+    # -- partition pruning -------------------------------------------------------
+
+    def _plan_partitioned(self, index: int, source: PartitionedInput,
+                          ia: InputAnalysis) -> InputPlan:
+        """Prune a partitioned input's partitions against its zone maps."""
+        compiled = SelectionCompiler(ia)
+        result = prune_partitions(compiled, source.info())
+        detail = result.detail()
+        if result.pruned == 0:
+            # Nothing to drop: pass the input through, but surface the
+            # verdict so explain output always reports ``pruned k/n``.
+            return InputPlan(
+                input_index=index,
+                original=source,
+                chosen=source,
+                detail=detail,
+            )
+        chosen = source.with_partitions(
+            [p.file for p in result.kept], pruned_detail=detail
+        )
+        plan = InputPlan(
+            input_index=index,
+            original=source,
+            chosen=chosen,
+            optimizations=[PARTITION_PRUNING],
+            detail=detail,
+        )
+        self._annotate_partition_plan(plan, source, ia, result)
+        return plan
+
+    def _annotate_partition_plan(self, plan: InputPlan,
+                                 source: PartitionedInput, ia: InputAnalysis,
+                                 result: PruneResult) -> None:
+        """Hook for subclasses to enrich a pruning plan (cost estimates)."""
+
     # -- applicability ----------------------------------------------------------
 
     def _try_apply(self, index: int, source: RecordFileInput,
-                   ia: InputAnalysis, entry: IndexEntry) -> Optional[InputPlan]:
+                   ia: InputAnalysis, entry: IndexEntry,
+                   compiled: SelectionCompiler) -> Optional[InputPlan]:
         kind = entry.kind
         if kind in (cat.KIND_SELECTION, cat.KIND_SELECTION_PROJECTION):
-            return self._apply_selection(index, source, ia, entry)
+            return self._apply_selection(index, source, ia, entry, compiled)
         if kind in (cat.KIND_PROJECTION, cat.KIND_PROJECTION_DELTA):
             if ia.projection is None or entry.value_fields is None:
                 return None
@@ -219,9 +283,9 @@ class Optimizer:
         return None
 
     def _apply_selection(self, index: int, source: RecordFileInput,
-                         ia: InputAnalysis,
-                         entry: IndexEntry) -> Optional[InputPlan]:
-        if ia.selection is None or ia.value_schema is None:
+                         ia: InputAnalysis, entry: IndexEntry,
+                         compiled: SelectionCompiler) -> Optional[InputPlan]:
+        if not compiled.has_selection:
             return None
         if entry.kind == cat.KIND_SELECTION_PROJECTION:
             if ia.projection is None or entry.value_fields is None:
@@ -229,9 +293,7 @@ class Optimizer:
             needed = set(ia.projection.used_value_fields)
             if not needed <= set(entry.value_fields):
                 return None
-        plan = compile_selection(
-            ia.selection.formula, ia.value_schema, field_name=entry.key_field
-        )
+        plan = compiled.compile(entry.key_field)
         if plan is None:
             return None
         ranges = plan.key_ranges()

@@ -21,7 +21,6 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.core.analyzer.conditions import (
     CMP_MIRROR,
-    Conjunct,
     SCompare,
     SConst,
     SelectionFormula,

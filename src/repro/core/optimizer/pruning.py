@@ -1,0 +1,191 @@
+"""Zone-map partition pruning: selection descriptors against sidecar stats.
+
+The analyzer (or an Appendix A hint) hands the optimizer a
+:class:`~repro.core.analyzer.conditions.SelectionFormula` -- a DNF of
+conditions every emitting record must satisfy.
+:func:`~repro.core.optimizer.predicates.compile_selection` turns that
+formula into a sound *interval over-approximation* per value field: any
+record that can reach an emit has its field value inside one of the
+compiled intervals (widening is always toward more records).
+
+A partition whose zone map ``[min, max]`` for such a field intersects
+*none* of the field's intervals therefore cannot contain an emitting
+record, and the whole partition file can be dropped from the plan before
+a single byte is read.  Missing zone maps (opaque schemas, incomparable
+types, empty observations) mean "unknown" and never prune; once a
+selection is in play, partitions with zero records always prune.  Pruning on several fields composes:
+each field's intervals are a necessary condition, so a partition must
+survive *every* field's test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.analyzer.descriptors import InputAnalysis
+from repro.core.optimizer.predicates import (
+    IndexableSelection,
+    Interval,
+    UNBOUNDED,
+    candidate_fields,
+    compile_selection,
+)
+from repro.storage.partitioned import PartitionedDatasetInfo, PartitionStats
+
+
+class SelectionCompiler:
+    """Compile one input's selection descriptor once per target field.
+
+    The planner probes several catalog entries (each keyed on its own
+    field) and the partition pruner probes every candidate field; this
+    memo makes each ``compile_selection`` run at most once per field per
+    planned input -- the "compiled once" half of the refactor.
+    """
+
+    def __init__(self, ia: InputAnalysis):
+        self._ia = ia
+        self._memo: Dict[Optional[str], Optional[IndexableSelection]] = {}
+
+    @property
+    def has_selection(self) -> bool:
+        return (
+            self._ia.selection is not None
+            and self._ia.value_schema is not None
+        )
+
+    def candidate_fields(self) -> List[str]:
+        """Value fields the formula constrains (in appearance order)."""
+        if not self.has_selection:
+            return []
+        return candidate_fields(
+            self._ia.selection.formula, self._ia.value_schema
+        )
+
+    def compile(self, field_name: Optional[str] = None
+                ) -> Optional[IndexableSelection]:
+        """Memoized ``compile_selection`` against one field (or the best)."""
+        if not self.has_selection:
+            return None
+        if field_name not in self._memo:
+            self._memo[field_name] = compile_selection(
+                self._ia.selection.formula,
+                self._ia.value_schema,
+                field_name=field_name,
+            )
+        return self._memo[field_name]
+
+
+def interval_intersects_zone(iv: Interval, zmin, zmax) -> bool:
+    """Whether ``iv`` and the closed zone ``[zmin, zmax]`` can share a value.
+
+    Incomparable endpoint types (a string bound against a numeric zone)
+    make the test unanswerable; the caller treats that as an
+    intersection (keep the partition).
+    """
+    if iv.lo is not UNBOUNDED:
+        if iv.lo > zmax:
+            return False
+        if iv.lo == zmax and not iv.lo_inclusive:
+            return False
+    if iv.hi is not UNBOUNDED:
+        if iv.hi < zmin:
+            return False
+        if iv.hi == zmin and not iv.hi_inclusive:
+            return False
+    return True
+
+
+@dataclass
+class PruneResult:
+    """Outcome of pruning one partitioned input."""
+
+    #: sidecar entries surviving the zone-map tests, in sidecar order
+    kept: List[PartitionStats]
+    total: int
+    #: zone-map fields whose intervals pruned at least one partition
+    fields: List[str] = field(default_factory=list)
+    #: why nothing could be pruned, when nothing was even attempted
+    reason: str = ""
+
+    @property
+    def pruned(self) -> int:
+        return self.total - len(self.kept)
+
+    def detail(self) -> str:
+        """The ``pruned k/n partitions (reason)`` line explain reports."""
+        base = f"pruned {self.pruned}/{self.total} partitions"
+        if self.fields:
+            return f"{base} (zone maps on {', '.join(self.fields)})"
+        if self.reason:
+            return f"{base} ({self.reason})"
+        if self.pruned:
+            return f"{base} (empty partitions)"
+        return f"{base} (no partition excluded by zone maps)"
+
+
+def prune_partitions(compiler: SelectionCompiler,
+                     info: PartitionedDatasetInfo) -> PruneResult:
+    """Drop partitions that provably contain no emitting record.
+
+    Safety argument: empty partitions contribute nothing; for non-empty
+    partitions, each tested field's compiled intervals are a necessary
+    condition on emitting records, so a zone map disjoint from all of a
+    field's intervals proves the partition emits nothing.  Any doubt
+    (missing zone map, incomparable values, no compilable selection)
+    keeps the partition.
+    """
+    partitions = info.partitions
+    total = len(partitions)
+    # Without a usable selection there is no pruning argument to make;
+    # keep everything (empty partitions cost nothing to "scan" -- they
+    # produce no splits -- and dropping them here would misreport an
+    # unfiltered scan as a partition-pruning optimization).
+    if not compiler.has_selection:
+        return PruneResult(kept=list(partitions), total=total,
+                           reason="no selection predicate")
+
+    compiled: List[IndexableSelection] = []
+    for name in compiler.candidate_fields():
+        plan = compiler.compile(name)
+        if plan is not None:
+            compiled.append(plan)
+    if not compiled:
+        # The formula constrains no comparable field into intervals.
+        return PruneResult(kept=list(partitions), total=total,
+                           reason="selection not interval-expressible")
+    if any(not plan.intervals for plan in compiled):
+        # compile_selection returns empty intervals only for a provably
+        # unsatisfiable formula: no record anywhere can emit -- a
+        # formula-level argument, not a zone-map one.
+        return PruneResult(kept=[], total=total,
+                           reason="selection is unsatisfiable")
+
+    kept = []
+    pruning_fields: List[str] = []
+    for stats in partitions:
+        if stats.records == 0:
+            continue
+        survived = True
+        for plan in compiled:
+            zone = stats.zone_maps.get(plan.field_name)
+            if zone is None:
+                continue
+            try:
+                if not any(
+                    interval_intersects_zone(
+                        iv, zone.min_value, zone.max_value
+                    )
+                    for iv in plan.intervals
+                ):
+                    survived = False
+            except TypeError:
+                # Bound/zone types don't compare: keep the partition.
+                continue
+            if not survived:
+                if plan.field_name not in pruning_fields:
+                    pruning_fields.append(plan.field_name)
+                break
+        if survived:
+            kept.append(stats)
+    return PruneResult(kept=kept, total=total, fields=pruning_fields)

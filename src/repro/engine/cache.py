@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import os
 import re
+import stat
 import threading
 from collections import OrderedDict
 from typing import Any, Dict, Hashable, Optional, Tuple
@@ -51,11 +52,24 @@ class Unfingerprintable(Exception):
 
 
 def file_fingerprint(path: str) -> Tuple[Any, ...]:
-    """Size + mtime of one source file (the catalog-applicability key)."""
+    """Size + mtime of one source file (the catalog-applicability key).
+
+    A partitioned-dataset *directory* fingerprints through its
+    statistics sidecar: rewriting the dataset rewrites the sidecar,
+    whereas the directory's own mtime would miss in-place partition
+    rewrites.
+    """
     try:
         st = os.stat(path)
     except OSError:
         return ("missing",)
+    if stat.S_ISDIR(st.st_mode):
+        from repro.storage.partitioned import freshness_token
+
+        token = freshness_token(path)
+        if token is None:
+            return ("dir-no-sidecar", st.st_mtime_ns)
+        return ("dir",) + token
     return ("file", st.st_size, st.st_mtime_ns)
 
 

@@ -29,6 +29,7 @@ from repro.mapreduce.formats import (
     InputSource,
     InputSplit,
     KeyRange,
+    PartitionedInput,
     ProjectedFileInput,
     RecordFileInput,
     SelectionIndexInput,
@@ -60,6 +61,7 @@ __all__ = [
     "Mapper",
     "PAPER_CLUSTER",
     "ParallelJobRunner",
+    "PartitionedInput",
     "Partitioner",
     "ProjectedFileInput",
     "RecordFileInput",

@@ -30,6 +30,11 @@ from repro.mapreduce.keyspace import estimate_size
 from repro.storage.btree import BTree
 from repro.storage.delta import DeltaFileReader
 from repro.storage.dictionary import DictionaryFileReader
+from repro.storage.partitioned import (
+    PartitionedDatasetInfo,
+    PartitionStats,
+    read_partitioned_info,
+)
 from repro.storage.recordfile import BlockInfo, RecordFileReader
 from repro.storage.serialization import FieldDecodeCounter, Record, Schema
 from repro.storage import varint
@@ -199,6 +204,120 @@ class ProjectedFileInput(RecordFileInput):
 
     def describe(self) -> str:
         return f"projected-scan({self.path})"
+
+
+class PartitionedInput(InputSource):
+    """Scan a partitioned dataset directory, partition by partition.
+
+    Splits never span partitions, so the planner can drop whole
+    partitions (zone-map pruning, see
+    :mod:`repro.core.optimizer.pruning`) and the runners -- sequential,
+    worker-pool parallel, and the DAG stage scheduler alike -- fan map
+    tasks out over surviving partitions only.  An unpruned scan delivers
+    exactly the records of the equivalent single-file scan (partition
+    order, then record order within each partition).
+
+    ``selected`` restricts the scan to a subset of partition file names
+    (None means all); ``pruned_detail`` carries the planner's
+    human-readable pruning reason into ``describe()`` and explain
+    output.
+    """
+
+    def __init__(self, path: str, tag: Optional[str] = None,
+                 selected: Optional[Sequence[str]] = None,
+                 pruned_detail: str = ""):
+        super().__init__(tag)
+        self.path = path
+        self.selected = list(selected) if selected is not None else None
+        self.pruned_detail = pruned_detail
+        self._info: Optional[PartitionedDatasetInfo] = None
+
+    # The cached sidecar holds live Schema objects; drop it when splits
+    # cross process boundaries (parallel-runner job state pickling).
+    def __getstate__(self):
+        state = dict(
+            path=self.path, tag=self.tag, selected=self.selected,
+            pruned_detail=self.pruned_detail,
+        )
+        return state
+
+    def __setstate__(self, state):
+        self.path = state["path"]
+        self.tag = state["tag"]
+        self.selected = state["selected"]
+        self.pruned_detail = state["pruned_detail"]
+        self._info = None
+
+    def info(self) -> PartitionedDatasetInfo:
+        """The dataset's sidecar (loaded once per input instance)."""
+        if self._info is None:
+            self._info = read_partitioned_info(self.path)
+        return self._info
+
+    def partitions(self) -> List[PartitionStats]:
+        """The partitions this input will scan, in sidecar order."""
+        stats = self.info().partitions
+        if self.selected is None:
+            return list(stats)
+        keep = set(self.selected)
+        return [p for p in stats if p.file in keep]
+
+    def partition_counts(self) -> Tuple[int, int]:
+        """(partitions scanned, partitions pruned) for metrics reporting."""
+        total = self.info().num_partitions
+        scanned = len(self.partitions())
+        return scanned, total - scanned
+
+    def with_partitions(self, selected: Sequence[str],
+                        pruned_detail: str = "") -> "PartitionedInput":
+        """A copy of this input restricted to the named partitions."""
+        return PartitionedInput(
+            self.path, tag=self.tag, selected=list(selected),
+            pruned_detail=pruned_detail,
+        )
+
+    def splits(self, target: int) -> List[InputSplit]:
+        """One or more splits per surviving partition, never spanning two.
+
+        ``target`` is the overall split budget for this input; it is
+        divided across partitions so a many-partition dataset does not
+        multiply map-task count by the per-input split target.
+        """
+        info = self.info()
+        parts = self.partitions()
+        out: List[InputSplit] = []
+        if not parts:
+            return out
+        per_partition = max(1, target // len(parts))
+        for stats in parts:
+            path = info.partition_path(stats)
+            with RecordFileReader(path) as reader:
+                blocks = reader.blocks()
+            for chunk in _chunk_blocks(blocks, per_partition):
+                out.append(InputSplit(self, (path, chunk)))
+        return out
+
+    def open(self, split: InputSplit) -> SplitReader:
+        path, blocks = split.payload
+        reader = RecordFileReader(path)
+
+        def generate() -> Iterator[Tuple[Any, Any]]:
+            for key, value in reader.iter_records(blocks):
+                sr.logical_bytes += estimate_size(key) + estimate_size(value)
+                sr.fields += _record_fields(value)
+                yield key, value
+
+        def finalize(sr_: SplitReader) -> None:
+            sr_.stored_bytes += reader.bytes_read
+            reader.close()
+
+        sr = SplitReader(generate(), finalize)
+        return sr
+
+    def describe(self) -> str:
+        scanned, pruned = self.partition_counts()
+        total = scanned + pruned
+        return f"partitioned-scan({self.path}, {scanned}/{total} partitions)"
 
 
 class DeltaFileInput(InputSource):

@@ -29,6 +29,13 @@ class JobMetrics:
     #: records the execution plan skipped without invoking map()
     #: (selection-index savings, the paper's "wasted work" avoided)
     records_skipped: int = 0
+    #: partitioned-input accounting: partitions actually scanned vs
+    #: dropped by zone-map pruning before any byte was read (zero for
+    #: non-partitioned inputs).  Like ``map_tasks``, these describe the
+    #: job's shape rather than a data volume, so ``scaled()`` leaves
+    #: them untouched.
+    partitions_scanned: int = 0
+    partitions_pruned: int = 0
 
     map_output_records: int = 0
     map_output_bytes: int = 0

@@ -51,7 +51,11 @@ from repro.exceptions import JobConfigError
 from repro.mapreduce.counters import Counters, FRAMEWORK_GROUP
 from repro.mapreduce.job import JobConf, JobResult
 from repro.mapreduce.metrics import JobMetrics
-from repro.mapreduce.runtime import LocalJobRunner, write_job_output
+from repro.mapreduce.runtime import (
+    LocalJobRunner,
+    _account_partitions,
+    write_job_output,
+)
 from repro.mapreduce import shuffle
 
 
@@ -91,11 +95,11 @@ class ParallelJobRunner:
         metrics = JobMetrics()
         counters = Counters()
 
-        tasks: List[Tuple[Optional[str], Any]] = [
-            (source.tag, split)
-            for source in conf.inputs
-            for split in source.splits(self.splits_per_input)
-        ]
+        tasks: List[Tuple[Optional[str], Any]] = []
+        for source in conf.inputs:
+            _account_partitions(source, metrics)
+            for split in source.splits(self.splits_per_input):
+                tasks.append((source.tag, split))
         spill_dir = tempfile.mkdtemp(prefix="manimal-shuffle-")
         state = _JobState(
             conf=conf,

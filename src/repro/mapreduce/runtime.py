@@ -289,6 +289,16 @@ def execute_reduce_partition(
     return out
 
 
+def _account_partitions(source: Any, metrics: JobMetrics) -> None:
+    """Fold a partitioned input's scanned/pruned counts into job metrics."""
+    counts = getattr(source, "partition_counts", None)
+    if counts is None:
+        return
+    scanned, pruned = counts()
+    metrics.partitions_scanned += scanned
+    metrics.partitions_pruned += pruned
+
+
 def write_job_output(conf: JobConf, outputs: List[Tuple[Any, Any]]) -> None:
     """Write final pairs to ``conf.output_path`` as a record file."""
     key_schema = conf.output_key_schema
@@ -327,6 +337,7 @@ class LocalJobRunner:
 
         n_tasks = 0
         for source in conf.inputs:
+            _account_partitions(source, metrics)
             for split in source.splits(self.splits_per_input):
                 n_tasks += 1
                 task = execute_map_task(conf, source.tag, split)

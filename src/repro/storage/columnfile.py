@@ -14,7 +14,7 @@ sketches as future work is exposed via ``build_column_groups``.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Sequence
 
 from repro.exceptions import SchemaError
 from repro.storage.recordfile import (

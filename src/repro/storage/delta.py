@@ -25,7 +25,6 @@ from repro.exceptions import CorruptFileError, SchemaError, SerializationError
 from repro.storage import varint
 from repro.storage.recordfile import BlockInfo, DEFAULT_BLOCK_SIZE
 from repro.storage.serialization import (
-    FieldType,
     Record,
     Schema,
     _decode_value,

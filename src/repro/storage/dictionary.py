@@ -29,8 +29,6 @@ from repro.storage.serialization import (
     FieldType,
     Record,
     Schema,
-    _decode_value,
-    _encode_value,
 )
 
 MAGIC = b"RPDX"

@@ -15,10 +15,10 @@ from __future__ import annotations
 import random
 import string
 from bisect import bisect_right
-from typing import Iterator, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.storage.recordfile import RecordFileWriter
-from repro.storage.serialization import LONG_SCHEMA, Record, STRING_SCHEMA, Schema
+from repro.storage.serialization import LONG_SCHEMA, STRING_SCHEMA, Schema
 from repro.workloads.schemas import DOCUMENTS, RANKINGS, USERVISITS, WEBPAGES
 
 #: Epoch-second bounds for visitDate generation (2000-01-01 .. 2004-01-01).

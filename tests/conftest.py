@@ -8,7 +8,6 @@ from repro.storage.recordfile import RecordFileWriter
 from repro.storage.serialization import (
     Field,
     FieldType,
-    LONG_SCHEMA,
     Schema,
     STRING_SCHEMA,
 )

@@ -13,7 +13,6 @@ from repro.mapreduce.api import FunctionMapper, Mapper
 from repro.mapreduce.formats import (
     DeltaFileInput,
     InMemoryInput,
-    ProjectedFileInput,
     RecordFileInput,
 )
 from repro.storage.delta import DeltaFileWriter

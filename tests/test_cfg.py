@@ -4,7 +4,7 @@ import ast
 import textwrap
 
 from repro.core.analyzer import ir, lower_function
-from repro.core.analyzer.cfg import CFG, CondJump, ExitTerm, Jump
+from repro.core.analyzer.cfg import CFG, CondJump, Jump
 
 
 def lower(source):

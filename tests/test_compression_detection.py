@@ -5,11 +5,8 @@ from repro.mapreduce.api import Mapper, Reducer
 from repro.mapreduce.formats import InMemoryInput
 from repro.mapreduce.job import JobConf
 from repro.storage.serialization import (
-    Field,
-    FieldType,
     OpaqueSchema,
     Record,
-    Schema,
     STRING_SCHEMA,
 )
 from repro.workloads.schemas import DOCUMENTS, USERVISITS

@@ -9,7 +9,7 @@ from repro.mapreduce import JobConf, RecordFileInput, run_job
 from repro.mapreduce.api import Mapper, Reducer
 from repro.storage.recordfile import RecordFileWriter
 from repro.storage.serialization import STRING_SCHEMA
-from tests.conftest import WEBPAGE, write_webpages
+from tests.conftest import write_webpages
 
 
 class SelectiveMapper(Mapper):

@@ -12,8 +12,8 @@ from repro.mapreduce import InMemoryInput, JobConf, LocalJobRunner
 from repro.mapreduce.api import Mapper, Reducer
 from repro.mapreduce.formats import RecordFileInput
 from repro.storage.recordfile import RecordFileWriter
-from repro.storage.serialization import LONG_SCHEMA, STRING_SCHEMA
-from tests.conftest import WEBPAGE, write_webpages
+from repro.storage.serialization import STRING_SCHEMA
+from tests.conftest import write_webpages
 
 
 class TokenCountMapper(Mapper):

@@ -21,7 +21,6 @@ from repro.exceptions import JobConfigError
 from repro.mapreduce import (
     InMemoryInput,
     JobConf,
-    LocalJobRunner,
     RecordFileInput,
 )
 from repro.mapreduce.api import Mapper, Reducer

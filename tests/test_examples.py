@@ -29,6 +29,7 @@ def _load(name):
     "columnar_analytics",
     "join_pipeline",
     "fluent_api",
+    "partitioned_scan",
 ])
 def test_example_runs(name, capsys):
     module = _load(name)

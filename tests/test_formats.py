@@ -8,7 +8,6 @@ from repro.mapreduce.formats import (
     DictionaryFileInput,
     InMemoryInput,
     KeyRange,
-    ProjectedFileInput,
     RecordFileInput,
     SelectionIndexInput,
     frame_index_entry,

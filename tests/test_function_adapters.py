@@ -11,7 +11,6 @@ from repro.mapreduce import (
     JobConf,
     Mapper,
     RecordFileInput,
-    Reducer,
     run_job,
 )
 from tests.conftest import write_webpages

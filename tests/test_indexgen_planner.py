@@ -9,8 +9,6 @@ from repro.core.manimal import Manimal
 from repro.core.optimizer import catalog as cat
 from repro.core.optimizer.indexgen import synthesize_program
 from repro.mapreduce import (
-    DeltaFileInput,
-    DictionaryFileInput,
     JobConf,
     ProjectedFileInput,
     RecordFileInput,
@@ -21,7 +19,7 @@ from repro.mapreduce.api import Mapper, Reducer
 from repro.storage.btree import BTree
 from repro.storage.serialization import STRING_SCHEMA
 from repro.workloads.schemas import USERVISITS
-from tests.conftest import WEBPAGE, write_webpages
+from tests.conftest import write_webpages
 
 ANALYZER = ManimalAnalyzer()
 

@@ -1,0 +1,307 @@
+"""Storage-layer tests: partitioned dataset writer, sidecar, zone maps."""
+
+import json
+import os
+
+import pytest
+
+from repro.exceptions import CorruptFileError, SerializationError
+from repro.storage.partitioned import (
+    MODE_HASH,
+    MODE_RANGE,
+    PartitionStats,
+    SIDECAR_NAME,
+    ZoneMap,
+    equi_depth_bounds,
+    is_partitioned_dataset,
+    partition_file_name,
+    read_partitioned_info,
+    sidecar_path,
+    write_partitioned_dataset,
+)
+from repro.storage.recordfile import RecordFileReader
+from repro.storage.serialization import (
+    Field,
+    FieldType,
+    LONG_SCHEMA,
+    OpaqueSchema,
+    Record,
+    Schema,
+)
+
+VALUE = Schema(
+    "Visit",
+    [
+        Field("url", FieldType.STRING),
+        Field("rank", FieldType.LONG),
+        Field("score", FieldType.DOUBLE),
+        Field("blob", FieldType.BYTES),
+    ],
+)
+
+
+def make_pairs(n, rank_of=lambda i: i):
+    return [
+        (
+            LONG_SCHEMA.make(i),
+            VALUE.make(f"http://x/{i}", rank_of(i), i / 7.0, b"\x00" * 3),
+        )
+        for i in range(n)
+    ]
+
+
+class TestWriteAndReadBack:
+    def test_round_trip_hash_layout(self, tmp_path):
+        directory = str(tmp_path / "ds")
+        pairs = make_pairs(200)
+        info = write_partitioned_dataset(
+            directory, LONG_SCHEMA, VALUE, pairs, num_partitions=4
+        )
+        assert is_partitioned_dataset(directory)
+        assert info.mode == MODE_HASH
+        assert info.num_partitions == 4
+        assert info.total_records == 200
+
+        # Every partition file is an ordinary record file; the union of
+        # their records is exactly the written pairs.
+        seen = []
+        for stats in info.partitions:
+            path = info.partition_path(stats)
+            with RecordFileReader(path) as reader:
+                rows = list(reader.iter_records())
+            assert len(rows) == stats.records
+            assert stats.bytes == os.path.getsize(path)
+            seen.extend(rows)
+        assert sorted(r[0].value for r in seen) == list(range(200))
+
+    def test_reload_matches_written_info(self, tmp_path):
+        directory = str(tmp_path / "ds")
+        info = write_partitioned_dataset(
+            directory, LONG_SCHEMA, VALUE, make_pairs(50),
+            num_partitions=3, partition_by="rank",
+        )
+        loaded = read_partitioned_info(directory)
+        assert loaded.mode == MODE_RANGE
+        assert loaded.partition_by == "rank"
+        assert loaded.bounds == info.bounds
+        assert loaded.key_schema == LONG_SCHEMA
+        assert loaded.value_schema == VALUE
+        assert [p.to_dict() for p in loaded.partitions] == [
+            p.to_dict() for p in info.partitions
+        ]
+
+    def test_range_layout_clusters_field_values(self, tmp_path):
+        directory = str(tmp_path / "ds")
+        info = write_partitioned_dataset(
+            directory, LONG_SCHEMA, VALUE, make_pairs(400),
+            num_partitions=8, partition_by="rank",
+        )
+        # Range layout: partition zone maps tile the value domain without
+        # overlap (each partition's max < next partition's min).
+        zones = [
+            p.zone_maps["rank"] for p in info.partitions if p.records > 0
+        ]
+        for prev, cur in zip(zones, zones[1:]):
+            assert prev.max_value < cur.min_value
+
+    def test_hash_layout_is_deterministic(self, tmp_path):
+        a = write_partitioned_dataset(
+            str(tmp_path / "a"), LONG_SCHEMA, VALUE, make_pairs(100),
+            num_partitions=4,
+        )
+        b = write_partitioned_dataset(
+            str(tmp_path / "b"), LONG_SCHEMA, VALUE, make_pairs(100),
+            num_partitions=4,
+        )
+        assert [p.records for p in a.partitions] == \
+            [p.records for p in b.partitions]
+
+    def test_explicit_bounds(self, tmp_path):
+        info = write_partitioned_dataset(
+            str(tmp_path / "ds"), LONG_SCHEMA, VALUE, make_pairs(100),
+            num_partitions=3, partition_by="rank", bounds=[10, 50],
+        )
+        # bisect_right routing: a record equal to a bound value lands in
+        # the partition to the bound's right.
+        assert [p.records for p in info.partitions] == [10, 40, 50]
+        assert info.partitions[0].zone_maps["rank"].max_value == 9
+        assert info.partitions[1].zone_maps["rank"].min_value == 10
+
+    def test_rewrite_in_place_clears_old_layout(self, tmp_path):
+        directory = str(tmp_path / "ds")
+        write_partitioned_dataset(
+            directory, LONG_SCHEMA, VALUE, make_pairs(100), num_partitions=8
+        )
+        info = write_partitioned_dataset(
+            directory, LONG_SCHEMA, VALUE, make_pairs(30), num_partitions=2
+        )
+        assert info.num_partitions == 2
+        part_files = sorted(
+            n for n in os.listdir(directory)
+            if n.startswith("part-") and n.endswith(".rf")
+        )
+        # No stale part-00002..00007 from the first write survive.
+        assert part_files == ["part-00000.rf", "part-00001.rf"]
+        assert read_partitioned_info(directory).total_records == 30
+
+    def test_too_many_bounds_rejected(self, tmp_path):
+        with pytest.raises(SerializationError):
+            write_partitioned_dataset(
+                str(tmp_path / "ds"), LONG_SCHEMA, VALUE, make_pairs(10),
+                num_partitions=2, partition_by="rank", bounds=[1, 2, 3],
+            )
+        # Nothing half-written is left behind.
+        assert not is_partitioned_dataset(str(tmp_path / "ds"))
+
+    def test_unsorted_bounds_rejected(self, tmp_path):
+        with pytest.raises(SerializationError):
+            write_partitioned_dataset(
+                str(tmp_path / "ds"), LONG_SCHEMA, VALUE, make_pairs(10),
+                num_partitions=3, partition_by="rank", bounds=[50, 10],
+            )
+
+    def test_unknown_partition_field_rejected(self, tmp_path):
+        with pytest.raises(SerializationError):
+            write_partitioned_dataset(
+                str(tmp_path / "ds"), LONG_SCHEMA, VALUE, make_pairs(10),
+                num_partitions=2, partition_by="nope",
+            )
+
+
+class TestZoneMaps:
+    def test_min_max_per_comparable_field(self, tmp_path):
+        info = write_partitioned_dataset(
+            str(tmp_path / "ds"), LONG_SCHEMA, VALUE, make_pairs(64),
+            num_partitions=1,
+        )
+        zm = info.partitions[0].zone_maps
+        assert zm["rank"].min_value == 0
+        assert zm["rank"].max_value == 63
+        assert zm["score"].min_value == 0.0
+        assert zm["url"].min_value == "http://x/0"
+        # BYTES is not comparable: no zone map, pruning must keep.
+        assert "blob" not in zm
+
+    def test_single_record_partition_min_equals_max(self, tmp_path):
+        info = write_partitioned_dataset(
+            str(tmp_path / "ds"), LONG_SCHEMA, VALUE, make_pairs(1),
+            num_partitions=1,
+        )
+        zm = info.partitions[0].zone_maps["rank"]
+        assert zm.min_value == zm.max_value == 0
+
+    def test_constant_field_min_equals_max(self, tmp_path):
+        info = write_partitioned_dataset(
+            str(tmp_path / "ds"), LONG_SCHEMA, VALUE,
+            make_pairs(40, rank_of=lambda i: 7), num_partitions=2,
+        )
+        for stats in info.partitions:
+            if stats.records:
+                assert stats.zone_maps["rank"].to_dict() == {
+                    "min": 7, "max": 7
+                }
+
+    def test_empty_partitions_have_no_zone_maps(self, tmp_path):
+        # All ranks identical + range layout: every record lands in one
+        # partition, the rest stay header-only with empty zone maps.
+        info = write_partitioned_dataset(
+            str(tmp_path / "ds"), LONG_SCHEMA, VALUE,
+            make_pairs(20, rank_of=lambda i: 5),
+            num_partitions=4, partition_by="rank",
+        )
+        empty = [p for p in info.partitions if p.records == 0]
+        assert empty, "expected at least one empty partition"
+        for stats in empty:
+            assert stats.zone_maps == {}
+            # The file still exists and is readable.
+            with RecordFileReader(info.partition_path(stats)) as reader:
+                assert list(reader.iter_records()) == []
+
+    def test_opaque_value_schema_writes_no_zone_maps(self, tmp_path):
+        opaque = OpaqueSchema(
+            "Blob",
+            fields=[Field("rank", FieldType.LONG)],
+            encoder=lambda record: str(record.rank).encode(),
+            decoder=lambda schema, raw: Record(schema, [int(raw)]),
+        )
+        pairs = [
+            (LONG_SCHEMA.make(i), Record(opaque, [i])) for i in range(10)
+        ]
+        info = write_partitioned_dataset(
+            str(tmp_path / "ds"), LONG_SCHEMA, opaque, pairs,
+            num_partitions=2,
+        )
+        for stats in info.partitions:
+            assert stats.zone_maps == {}
+
+    def test_all_missing_values_yield_no_zone_map(self, tmp_path):
+        # An opaque codec may materialize None field values; the builder
+        # must treat "nothing observed" as "no zone map", not crash.
+        opaque = OpaqueSchema(
+            "MaybeNull",
+            fields=[Field("rank", FieldType.LONG)],
+            encoder=lambda record: b"x",
+            decoder=lambda schema, raw: Record(schema, [None]),
+        )
+        from repro.storage.partitioned import _ZoneMapBuilder
+
+        builder = _ZoneMapBuilder(
+            Schema("S", [Field("rank", FieldType.LONG)])
+        )
+        for _ in range(5):
+            builder.observe(Record(
+                Schema("S", [Field("rank", FieldType.LONG)]), [None]
+            ))
+        assert builder.build() == {}
+        assert opaque.transparent is False
+
+
+class TestEquiDepthBounds:
+    def test_even_spread(self):
+        assert equi_depth_bounds(list(range(100)), 4) == [25, 50, 75]
+
+    def test_duplicate_heavy_data_collapses_bounds(self):
+        bounds = equi_depth_bounds([1] * 50 + [2], 4)
+        assert bounds == sorted(set(bounds))
+
+    def test_empty_values(self):
+        assert equi_depth_bounds([], 4) == []
+
+
+class TestSidecarValidation:
+    def test_missing_sidecar(self, tmp_path):
+        with pytest.raises(CorruptFileError):
+            read_partitioned_info(str(tmp_path))
+
+    def test_bad_version(self, tmp_path):
+        directory = str(tmp_path / "ds")
+        write_partitioned_dataset(
+            directory, LONG_SCHEMA, VALUE, make_pairs(5), num_partitions=1
+        )
+        with open(sidecar_path(directory)) as f:
+            data = json.load(f)
+        data["version"] = 99
+        with open(sidecar_path(directory), "w") as f:
+            json.dump(data, f)
+        with pytest.raises(CorruptFileError):
+            read_partitioned_info(directory)
+
+    def test_not_partitioned_for_plain_file(self, tmp_path):
+        plain = tmp_path / "x.rf"
+        plain.write_bytes(b"RPRF")
+        assert not is_partitioned_dataset(str(plain))
+        assert not is_partitioned_dataset(str(tmp_path / "missing"))
+
+    def test_partition_file_names(self):
+        assert partition_file_name(0) == "part-00000.rf"
+        assert partition_file_name(123) == "part-00123.rf"
+
+    def test_stats_round_trip(self):
+        stats = PartitionStats(
+            file="part-00000.rf", records=3, bytes=100,
+            zone_maps={"rank": ZoneMap(1, 9)},
+        )
+        again = PartitionStats.from_dict(stats.to_dict())
+        assert again.zone_maps["rank"].min_value == 1
+        assert again.zone_maps["rank"].max_value == 9
+        assert SIDECAR_NAME == "_partitions.json"

@@ -3,8 +3,6 @@
 from repro.core.analyzer import ManimalAnalyzer
 from repro.mapreduce.api import Mapper
 from repro.storage.serialization import (
-    Field,
-    FieldType,
     OpaqueSchema,
     Record,
     STRING_SCHEMA,

@@ -14,7 +14,6 @@ from repro.storage.serialization import (
     FieldType,
     LONG_SCHEMA,
     Schema,
-    STRING_SCHEMA,
 )
 
 PAIR = Schema("Pair", [Field("a", FieldType.INT), Field("b", FieldType.STRING)])

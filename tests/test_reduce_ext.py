@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.analyzer.reduce_ext import find_reduce_key_filter
 from repro.core.manimal import Manimal
-from repro.mapreduce import InMemoryInput, JobConf, RecordFileInput, run_job
+from repro.mapreduce import JobConf, RecordFileInput, run_job
 from repro.mapreduce.api import Mapper, Reducer
 from tests.conftest import write_webpages
 

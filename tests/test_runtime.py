@@ -4,7 +4,6 @@ import pytest
 
 from repro.exceptions import JobConfigError, JobExecutionError
 from repro.mapreduce import (
-    Context,
     InMemoryInput,
     JobConf,
     LocalJobRunner,
@@ -16,11 +15,7 @@ from repro.mapreduce import (
 )
 from repro.storage.recordfile import RecordFileReader
 from repro.storage.serialization import (
-    Field,
-    FieldType,
     INT_SCHEMA,
-    LONG_SCHEMA,
-    Schema,
     STRING_SCHEMA,
 )
 

@@ -14,7 +14,6 @@ from repro.storage.serialization import (
     OpaqueSchema,
     Record,
     Schema,
-    STRING_SCHEMA,
     primitive_schema,
     register_opaque_schema,
 )

@@ -13,7 +13,6 @@ from repro.workloads.datagen import (
     VISIT_DATE_LO,
     ZipfSampler,
     generate_documents,
-    generate_rankings,
     generate_uservisits,
     generate_webpages,
     rank_threshold_for_selectivity,
