@@ -1,0 +1,352 @@
+#!/usr/bin/env python
+"""Tracked query-service benchmark: throughput, caching, fairness.
+
+Companion to ``bench_engine.py`` (which guards the in-process engine
+layer): this harness guards the *front door* -- the multi-tenant socket
+service of :mod:`repro.service` -- under concurrent clients.  The ROADMAP
+target for this layer is sustained **queries/sec**, not single-query
+wall time.  Tracked in ``BENCH_service.json`` at the repository root; CI
+runs it at a reduced scale.
+
+Workloads:
+
+* **repeat_heavy_throughput** -- N concurrent clients of one tenant
+  re-submitting a small set of distinct queries (the dashboard shape).
+  Measured with the result cache off (every submission executes) and on
+  (repeats served as stored bytes without touching the worker pool).
+  The acceptance gate (``--min-speedup``, tracked at >=2x) applies to
+  sustained queries/sec, cache on vs off.  Every served payload is also
+  checked byte-identical to an in-process run of the same chain.
+* **fair_scheduling** -- one tenant floods the server with a deep
+  backlog while light tenants each submit a handful of queries; all
+  queries run uncached.  Reports per-tenant turnaround; the gate is
+  *zero starvation*: every light-tenant query completes even though the
+  heavy tenant's backlog never drains before they finish, and the
+  scheduler's dispatch counters show the light tenants were served
+  while the heavy backlog was pending.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py            # full run
+    PYTHONPATH=src python benchmarks/bench_service.py --scale 0.4 \
+        --min-speedup 1.5                                        # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.api import Session, col
+from repro.engine import ExecutionEngine
+from repro.service import QueryServer, connect, serialize_rows
+from repro.workloads.datagen import generate_webpages
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_service.json")
+
+#: Baseline shape at --scale 1.0.
+BASE_SIZES = {
+    "webpages": 4_000,
+    "clients": 6,
+    "queries_per_client": 12,
+    "heavy_backlog": 10,
+    "light_tenants": 3,
+    "light_queries": 3,
+}
+
+#: The small set of distinct questions the repeat-heavy clients rotate
+#: through (threshold -> chain); repeats dominate, as in a dashboard.
+THRESHOLDS = (900, 950, 990)
+
+
+def _chain(session_like: Any, src: str, threshold: int) -> Any:
+    return (session_like.read(src)
+            .filter(col("rank") > threshold)
+            .select("url", "rank"))
+
+
+def _start_server(root: str, engine: ExecutionEngine,
+                  cache: bool, **kwargs: Any) -> QueryServer:
+    return QueryServer(
+        root, engine=engine,
+        result_cache_bytes=None if cache else 0,
+        **kwargs,
+    ).start()
+
+
+# -- workload 1: repeat-heavy throughput --------------------------------------
+
+
+def _drive_clients(server: QueryServer, src: str, clients: int,
+                   queries_per_client: int) -> Dict[str, Any]:
+    """N threads x M submissions of rotating repeat queries; wall + qps."""
+    host, port = server.address
+    payloads: Dict[int, bytes] = {}
+    errors: List[BaseException] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(clients)
+
+    def client(idx: int) -> None:
+        try:
+            with connect(host, port, tenant="dash") as remote:
+                barrier.wait()
+                for q in range(queries_per_client):
+                    threshold = THRESHOLDS[(idx + q) % len(THRESHOLDS)]
+                    payload, _ = _chain(remote, src, threshold) \
+                        .collect_bytes()
+                    with lock:
+                        payloads[threshold] = payload
+        except BaseException as exc:  # pragma: no cover - diagnostic
+            errors.append(exc)
+
+    threads = [threading.Thread(target=client, args=(i,))
+               for i in range(clients)]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - start
+    if errors:
+        raise AssertionError(f"client failed: {errors[0]!r}")
+    total = clients * queries_per_client
+    return {
+        "wall_seconds": round(wall, 4),
+        "queries": total,
+        "queries_per_second": round(total / wall, 2) if wall > 0 else None,
+        "payloads": payloads,
+    }
+
+
+def bench_repeat_heavy(src: str, workdir: str, clients: int,
+                       queries_per_client: int) -> Dict[str, Any]:
+    results: Dict[str, Dict[str, Any]] = {}
+    for mode, cache in (("cache_off", False), ("cache_on", True)):
+        engine = ExecutionEngine()
+        server = _start_server(
+            os.path.join(workdir, f"root-{mode}"), engine, cache,
+            max_in_flight=2, max_queue_depth=64,
+        )
+        try:
+            results[mode] = _drive_clients(
+                server, src, clients, queries_per_client
+            )
+            if cache:
+                results[mode]["cache"] = server.results.stats()
+        finally:
+            server.close()
+
+    # Byte-identity: every served payload equals an in-process run.
+    with Session(catalog_dir=os.path.join(workdir, "ident-cat")) as local:
+        expected = {
+            threshold: serialize_rows(_chain(local, src, threshold).collect())
+            for threshold in THRESHOLDS
+        }
+    identical = all(
+        results[mode]["payloads"].get(t) == expected[t]
+        for mode in results
+        for t in results[mode]["payloads"]
+    )
+    if not identical:
+        raise AssertionError(
+            "repeat_heavy_throughput: served payloads differ from in-process"
+        )
+    for mode in results:
+        del results[mode]["payloads"]
+
+    off = results["cache_off"]["queries_per_second"]
+    on = results["cache_on"]["queries_per_second"]
+    return {
+        "clients": clients,
+        "queries_per_client": queries_per_client,
+        "distinct_queries": len(THRESHOLDS),
+        "cache_off": results["cache_off"],
+        "cache_on": results["cache_on"],
+        "speedup": round(on / off, 2) if off and on else None,
+        "byte_identical": identical,
+    }
+
+
+# -- workload 2: fair scheduling ----------------------------------------------
+
+
+def bench_fair_scheduling(src: str, workdir: str, heavy_backlog: int,
+                          light_tenants: int,
+                          light_queries: int) -> Dict[str, Any]:
+    engine = ExecutionEngine()
+    # Cache off so every submission really competes for the pool; one
+    # in-flight slot makes the round-robin dispatch order observable.
+    server = _start_server(
+        os.path.join(workdir, "root-fair"), engine, cache=False,
+        max_in_flight=1, max_queue_depth=max(64, heavy_backlog + 8),
+    )
+    host, port = server.address
+    light_walls: Dict[str, float] = {}
+    errors: List[BaseException] = []
+    lock = threading.Lock()
+
+    try:
+        # The heavy tenant floods its queue with distinct (uncacheable
+        # by construction -- cache is off) queries...
+        heavy = connect(host, port, tenant="heavy")
+        heavy_jobs = []
+        for i in range(heavy_backlog):
+            ds = _chain(heavy, src, 900 + (i % 90))
+            heavy_jobs.append(heavy.submit(ds)["job_id"])
+
+        # ...then the light tenants arrive with the backlog pending.
+        def light_client(tenant: str) -> None:
+            try:
+                start = time.perf_counter()
+                with connect(host, port, tenant=tenant) as remote:
+                    for q in range(light_queries):
+                        _chain(remote, src, 990 - q).collect()
+                with lock:
+                    light_walls[tenant] = time.perf_counter() - start
+            except BaseException as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=light_client, args=(f"light{i}",))
+            for i in range(light_tenants)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            raise AssertionError(f"light client failed: {errors[0]!r}")
+
+        stats_mid = server.scheduler.stats()
+        heavy_pending = stats_mid["backlog"] + (
+            1 if stats_mid["in_flight"] else 0
+        )
+        # Now let the heavy backlog finish and check nothing was lost.
+        for job_id in heavy_jobs:
+            heavy.poll(job_id)
+        server.scheduler.drain(timeout=300.0)
+        stats_end = server.scheduler.stats()
+        heavy.close()
+    finally:
+        server.close()
+
+    starved = [t for t in light_walls if light_walls[t] is None]
+    return {
+        "heavy_backlog": heavy_backlog,
+        "light_tenants": light_tenants,
+        "light_queries_each": light_queries,
+        "light_wall_seconds": {
+            t: round(w, 4) for t, w in sorted(light_walls.items())
+        },
+        # Every light query finished while heavy work was still pending:
+        # the weighted round-robin served them a turn per cycle instead
+        # of running the flood to completion first.
+        "heavy_pending_when_lights_done": heavy_pending,
+        "dispatched_by_tenant": stats_end["dispatched_by_tenant"],
+        "completed": stats_end["completed"],
+        "failed": stats_end["failed"],
+        "zero_starvation": (
+            not starved
+            and len(light_walls) == light_tenants
+            and stats_end["failed"] == 0
+        ),
+    }
+
+
+# -- harness -----------------------------------------------------------------
+
+
+def run_suite(scale: float) -> Dict[str, Any]:
+    sizes = {
+        "webpages": max(500, int(BASE_SIZES["webpages"] * scale)),
+        "clients": max(2, int(BASE_SIZES["clients"] * scale)),
+        "queries_per_client": max(4, int(BASE_SIZES["queries_per_client"]
+                                         * scale)),
+        "heavy_backlog": max(4, int(BASE_SIZES["heavy_backlog"] * scale)),
+        "light_tenants": max(2, int(BASE_SIZES["light_tenants"] * scale)),
+        "light_queries": max(2, int(BASE_SIZES["light_queries"] * scale)),
+    }
+    report: Dict[str, Any] = {
+        "benchmark": "service",
+        "scale": scale,
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+        "workloads": {},
+    }
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as workdir:
+        src = os.path.join(workdir, "webpages.rf")
+        generate_webpages(src, sizes["webpages"], rank_max=1000)
+        report["workloads"]["repeat_heavy_throughput"] = bench_repeat_heavy(
+            src, workdir, sizes["clients"], sizes["queries_per_client"]
+        )
+        report["workloads"]["fair_scheduling"] = bench_fair_scheduling(
+            src, workdir, sizes["heavy_backlog"],
+            sizes["light_tenants"], sizes["light_queries"],
+        )
+
+    repeat = report["workloads"]["repeat_heavy_throughput"]
+    fair = report["workloads"]["fair_scheduling"]
+    report["summary"] = {
+        "result_cache_speedup": repeat["speedup"],
+        "queries_per_second_cached": repeat["cache_on"]["queries_per_second"],
+        "byte_identical": repeat["byte_identical"],
+        "zero_starvation": fair["zero_starvation"],
+    }
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale factor (1.0 = tracked baseline)")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help="where to write the JSON report")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless the result cache reaches this "
+                             "sustained queries/sec speedup (and the "
+                             "fairness workload shows zero starvation)")
+    args = parser.parse_args(argv)
+
+    report = run_suite(args.scale)
+    with open(args.output, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    print(f"wrote {args.output}")
+    summary = report["summary"]
+    print(f"  result cache speedup   {summary['result_cache_speedup']}x")
+    print(f"  cached queries/sec     {summary['queries_per_second_cached']}")
+    print(f"  byte identical         {summary['byte_identical']}")
+    print(f"  zero starvation        {summary['zero_starvation']}")
+
+    if args.min_speedup is not None:
+        failures = []
+        speedup = summary["result_cache_speedup"]
+        if speedup is None or speedup < args.min_speedup:
+            failures.append(
+                f"result-cache speedup {speedup} < required "
+                f"{args.min_speedup}"
+            )
+        if not summary["zero_starvation"]:
+            failures.append("fairness workload reported starved tenants")
+        if not summary["byte_identical"]:
+            failures.append("served payloads were not byte-identical")
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(f"OK: result-cache speedup {speedup} >= {args.min_speedup}, "
+              "zero starvation")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,6 +53,7 @@ from repro.core.manimal import Manimal, ManimalResult
 from repro.core.pipeline import ManimalPipeline
 from repro.explain import explain_dataset, explain_job
 from repro.mapreduce import (
+    PAPER_CLUSTER,
     Context,
     CostModel,
     FunctionMapper,
@@ -61,16 +62,16 @@ from repro.mapreduce import (
     JobResult,
     LocalJobRunner,
     Mapper,
-    PAPER_CLUSTER,
     ParallelJobRunner,
     PartitionedInput,
     RecordFileInput,
     Reducer,
     run_job,
 )
+from repro.service import QueryServer, connect
 from repro.storage import Field, FieldType, Record, Schema
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Context",
@@ -91,6 +92,7 @@ __all__ = [
     "PAPER_CLUSTER",
     "ParallelJobRunner",
     "PartitionedInput",
+    "QueryServer",
     "Record",
     "RecordFileInput",
     "Reducer",
@@ -99,6 +101,7 @@ __all__ = [
     "__version__",
     "avg_of",
     "col",
+    "connect",
     "count",
     "explain_dataset",
     "explain_job",

@@ -18,7 +18,7 @@ Quickstart::
 """
 
 from repro.api.dataset import Dataset, DatasetResult, GroupedDataset
-from repro.api.expressions import Expr, col, lit, selection_formula
+from repro.api.expressions import Expr, col, expr_from_dict, lit, selection_formula
 from repro.api.plan import (
     AggSpec,
     LoweredPlan,
@@ -44,6 +44,7 @@ __all__ = [
     "avg_of",
     "col",
     "count",
+    "expr_from_dict",
     "lit",
     "lower_plan",
     "max_of",

@@ -21,8 +21,8 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.api.expressions import Expr
 from repro.api.plan import (
-    AggSpec,
     AggregateNode,
+    AggSpec,
     FilterNode,
     JoinNode,
     LogicalNode,

@@ -20,18 +20,20 @@ Every expression supports three renderings:
 
 from __future__ import annotations
 
-from typing import Any, FrozenSet, Sequence, Tuple
+import base64
+import pickle
+from typing import Any, Dict, FrozenSet, Sequence, Tuple
 
 from repro.core.analyzer.conditions import (
-    Conjunct,
     ROLE_VALUE,
+    Conjunct,
     SArith,
     SBool,
     SCompare,
     SConst,
+    SelectionFormula,
     SNot,
     SParamField,
-    SelectionFormula,
     SymExpr,
     term_dnf,
 )
@@ -108,6 +110,16 @@ class Expr:
         """Names of the value columns this expression references."""
         raise NotImplementedError
 
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable rendering (the query-service wire form).
+
+        Round-trips through :func:`expr_from_dict`; the remote client
+        ships predicates this way so the server rebuilds the exact
+        expression tree -- and therefore the exact selection hints --
+        that an in-process Dataset would carry.
+        """
+        raise NotImplementedError
+
     def evaluate(self, record: Any) -> Any:
         """Evaluate against one decoded value record."""
         return self.to_symbolic().evaluate(None, record)
@@ -139,6 +151,9 @@ class Col(Expr):
     def columns(self) -> FrozenSet[str]:
         return frozenset((self.name,))
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": "col", "name": self.name}
+
 
 class Lit(Expr):
     """A literal constant."""
@@ -154,6 +169,16 @@ class Lit(Expr):
 
     def columns(self) -> FrozenSet[str]:
         return frozenset()
+
+    def to_dict(self) -> Dict[str, Any]:
+        # JSON carries the common literal types natively; anything else
+        # (bytes, decimals, ...) rides as a pickled payload.
+        if self.value is None or isinstance(self.value, (bool, int, float,
+                                                         str)):
+            return {"kind": "lit", "value": self.value}
+        blob = pickle.dumps(self.value, protocol=pickle.HIGHEST_PROTOCOL)
+        return {"kind": "lit",
+                "pickle": base64.b64encode(blob).decode("ascii")}
 
 
 class Compare(Expr):
@@ -176,6 +201,10 @@ class Compare(Expr):
     def columns(self) -> FrozenSet[str]:
         return self.left.columns() | self.right.columns()
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": "cmp", "op": self.op,
+                "left": self.left.to_dict(), "right": self.right.to_dict()}
+
 
 class BoolExpr(Expr):
     """Conjunction/disjunction of two boolean expressions."""
@@ -197,6 +226,10 @@ class BoolExpr(Expr):
     def columns(self) -> FrozenSet[str]:
         return self.left.columns() | self.right.columns()
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": "bool", "op": self.op,
+                "left": self.left.to_dict(), "right": self.right.to_dict()}
+
 
 class NotExpr(Expr):
     """Logical negation."""
@@ -212,6 +245,9 @@ class NotExpr(Expr):
 
     def columns(self) -> FrozenSet[str]:
         return self.operand.columns()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": "not", "operand": self.operand.to_dict()}
 
 
 class Arith(Expr):
@@ -234,6 +270,10 @@ class Arith(Expr):
     def columns(self) -> FrozenSet[str]:
         return self.left.columns() | self.right.columns()
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": "arith", "op": self.op,
+                "left": self.left.to_dict(), "right": self.right.to_dict()}
+
 
 def _wrap(value: Any) -> Expr:
     if isinstance(value, Expr):
@@ -248,6 +288,43 @@ def _require_expr(value: Any) -> Expr:
             "wrap literals with lit(...)"
         )
     return value
+
+
+def expr_from_dict(data: Dict[str, Any]) -> Expr:
+    """Rebuild an expression tree from its :meth:`Expr.to_dict` form.
+
+    The inverse of the wire encoding the remote query-service client
+    ships predicates in; unknown kinds and malformed nodes raise
+    :class:`~repro.exceptions.JobConfigError` so a bad frame fails the
+    one request, not the server.
+    """
+    if not isinstance(data, dict) or "kind" not in data:
+        raise JobConfigError(f"malformed expression node {data!r}")
+    kind = data["kind"]
+    try:
+        if kind == "col":
+            return Col(data["name"])
+        if kind == "lit":
+            if "pickle" in data:
+                blob = base64.b64decode(data["pickle"])
+                return Lit(pickle.loads(blob))
+            return Lit(data["value"])
+        if kind == "cmp":
+            return Compare(data["op"], expr_from_dict(data["left"]),
+                           expr_from_dict(data["right"]))
+        if kind == "bool":
+            return BoolExpr(data["op"], expr_from_dict(data["left"]),
+                            expr_from_dict(data["right"]))
+        if kind == "not":
+            return NotExpr(expr_from_dict(data["operand"]))
+        if kind == "arith":
+            return Arith(data["op"], expr_from_dict(data["left"]),
+                         expr_from_dict(data["right"]))
+    except KeyError as exc:
+        raise JobConfigError(
+            f"expression node {kind!r} is missing field {exc}"
+        ) from exc
+    raise JobConfigError(f"unknown expression kind {kind!r}")
 
 
 def col(name: str) -> Col:

@@ -1,0 +1,211 @@
+"""The wire form of a fluent query: serializable op lists.
+
+The query service's client cannot hold real :class:`~repro.api.dataset.
+Dataset` objects -- those are handles over a server-side ``Session``.
+Instead the client records the fluent calls as a JSON-serializable **op
+list** and ships it with ``submit``; the server replays the list against
+the tenant's session with :func:`apply_ops`, producing exactly the
+Dataset (and therefore exactly the lowered stage chain, hints, and plan)
+an in-process caller would have built.  That replay is what makes the
+service's byte-identity guarantee cheap to keep: remote execution *is*
+in-process execution, reached through a codec.
+
+Encoding rules:
+
+* column predicates and projections are structural
+  (:meth:`Expr.to_dict <repro.api.expressions.Expr.to_dict>`, column name
+  lists) -- pure JSON, optimizer-visible on the server;
+* opaque callables (``filter(fn)``, ``map(fn)``) ride as pickled
+  payloads, so they must be importable on the server (module-level
+  functions; lambdas and REPL closures are rejected client-side with a
+  clear error);
+* schemas serialize through their canonical ``to_dict`` form.
+
+The op list is also the service's result-cache identity: two
+submissions with byte-equal canonical op JSON ask the same question
+(see :mod:`repro.service.results`).
+"""
+
+from __future__ import annotations
+
+import base64
+import pickle
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.api.dataset import Dataset, GroupedDataset
+from repro.api.expressions import Expr, expr_from_dict
+from repro.api.plan import AggSpec
+from repro.exceptions import JobConfigError
+from repro.storage.serialization import Schema
+
+OpList = List[Dict[str, Any]]
+
+
+# -- payload helpers ----------------------------------------------------------
+
+
+def encode_callable(fn: Callable) -> str:
+    """Pickle a callable for the wire; fail fast on unpicklable ones."""
+    try:
+        blob = pickle.dumps(fn, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise JobConfigError(
+            f"cannot send {getattr(fn, '__name__', fn)!r} to the query "
+            f"service: it does not pickle ({exc}).  Remote filter()/map() "
+            "callables must be importable module-level functions; for "
+            "filters, prefer column expressions (col('x') > 1), which "
+            "serialize structurally and stay optimizer-visible."
+        ) from exc
+    return base64.b64encode(blob).decode("ascii")
+
+
+def decode_callable(payload: str) -> Callable:
+    fn = pickle.loads(base64.b64decode(payload))
+    if not callable(fn):
+        raise JobConfigError("pickled payload is not callable")
+    return fn
+
+
+def encode_schema(schema: Optional[Schema]) -> Optional[Dict[str, Any]]:
+    return None if schema is None else schema.to_dict()
+
+
+def decode_schema(data: Optional[Dict[str, Any]]) -> Optional[Schema]:
+    return None if data is None else Schema.from_dict(data)
+
+
+def encode_aggs(aggs: Dict[str, Any]) -> List[List[Any]]:
+    """``agg(**kwargs)`` keywords as ``[name, op, column]`` triples."""
+    out: List[List[Any]] = []
+    for name, spec in aggs.items():
+        if isinstance(spec, tuple):
+            spec = AggSpec(*spec)
+        if not isinstance(spec, AggSpec):
+            raise JobConfigError(
+                f"aggregate {name!r} must be an AggSpec or (op, column)"
+            )
+        out.append([name, spec.op, spec.column])
+    return out
+
+
+# -- replay -------------------------------------------------------------------
+
+
+def apply_ops(session: Any, ops: OpList) -> Dataset:
+    """Replay a client op list against a server-side Session.
+
+    The first op must be a ``read``; every subsequent op maps 1:1 onto
+    the fluent builder method of the same name, so validation (unknown
+    columns, schema requirements) happens exactly where and how it does
+    in-process.  Malformed op lists raise
+    :class:`~repro.exceptions.JobConfigError`.
+    """
+    if not ops:
+        raise JobConfigError("empty query: op list has no read")
+    dataset: Optional[Dataset] = None
+    for i, op in enumerate(ops):
+        if not isinstance(op, dict) or "op" not in op:
+            raise JobConfigError(f"malformed op #{i}: {op!r}")
+        name = op["op"]
+        if name == "read":
+            if dataset is not None:
+                raise JobConfigError(
+                    f"op #{i}: read must be the first op of a branch"
+                )
+            dataset = session.read(op["path"])
+            continue
+        if dataset is None:
+            raise JobConfigError(f"op #{i} ({name!r}) before any read")
+        try:
+            dataset = _apply_one(session, dataset, name, op, i)
+        except KeyError as exc:
+            raise JobConfigError(
+                f"op #{i} ({name!r}) is missing field {exc}"
+            ) from exc
+    assert dataset is not None
+    return dataset
+
+
+def _apply_one(session: Any, dataset: Dataset, name: str,
+               op: Dict[str, Any], i: int) -> Dataset:
+    if name == "filter":
+        if "expr" in op:
+            return dataset.filter(expr_from_dict(op["expr"]))
+        return dataset.filter(decode_callable(op["callable"]))
+    if name == "select":
+        return dataset.select(*op["columns"])
+    if name == "map":
+        return dataset.map(
+            decode_callable(op["fn"]),
+            key_schema=decode_schema(op.get("key_schema")),
+            value_schema=decode_schema(op.get("value_schema")),
+        )
+    if name == "agg":
+        grouped = GroupedDataset(dataset, op["group_by"])
+        aggs = {
+            agg_name: AggSpec(agg_op, column)
+            for agg_name, agg_op, column in op["aggs"]
+        }
+        return grouped.agg(**aggs)
+    if name == "join":
+        right = apply_ops(session, op["right"])
+        return dataset.join(right, on=op["on"])
+    raise JobConfigError(f"op #{i}: unknown op {name!r}")
+
+
+def read_paths(ops: OpList) -> List[str]:
+    """Every ``read`` path an op list (including join branches) scans.
+
+    The result cache stats these to detect rewritten inputs; order is
+    deterministic (document order, join branches in place).
+    """
+    paths: List[str] = []
+    for op in ops:
+        if not isinstance(op, dict):
+            continue
+        if op.get("op") == "read" and "path" in op:
+            paths.append(op["path"])
+        elif op.get("op") == "join" and isinstance(op.get("right"), list):
+            paths.extend(read_paths(op["right"]))
+    return paths
+
+
+# -- client-side op builders --------------------------------------------------
+
+
+def op_read(path: str) -> Dict[str, Any]:
+    return {"op": "read", "path": path}
+
+
+def op_filter(predicate: Any) -> Dict[str, Any]:
+    if isinstance(predicate, Expr):
+        return {"op": "filter", "expr": predicate.to_dict()}
+    if callable(predicate):
+        return {"op": "filter", "callable": encode_callable(predicate)}
+    raise JobConfigError("filter() takes a column expression or a callable")
+
+
+def op_select(columns: List[str]) -> Dict[str, Any]:
+    if not columns:
+        raise JobConfigError("select() needs at least one column")
+    return {"op": "select", "columns": list(columns)}
+
+
+def op_map(fn: Callable, key_schema: Optional[Schema],
+           value_schema: Optional[Schema]) -> Dict[str, Any]:
+    return {
+        "op": "map",
+        "fn": encode_callable(fn),
+        "key_schema": encode_schema(key_schema),
+        "value_schema": encode_schema(value_schema),
+    }
+
+
+def op_agg(group_by: str, aggs: Dict[str, Any]) -> Dict[str, Any]:
+    if not aggs:
+        raise JobConfigError("agg() needs at least one aggregate")
+    return {"op": "agg", "group_by": group_by, "aggs": encode_aggs(aggs)}
+
+
+def op_join(right_ops: OpList, on: str) -> Dict[str, Any]:
+    return {"op": "join", "right": list(right_ops), "on": on}

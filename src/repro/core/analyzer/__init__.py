@@ -18,13 +18,13 @@ from repro.core.analyzer.dataflow import ReachingDefinitions, build_use_def_dag
 from repro.core.analyzer.descriptors import (
     DELTA,
     DIRECT,
+    PROJECT,
+    SELECT,
     DeltaCompressionDescriptor,
     DirectOperationDescriptor,
     InputAnalysis,
     JobAnalysis,
-    PROJECT,
     ProjectionDescriptor,
-    SELECT,
     SelectionDescriptor,
     SideEffect,
 )

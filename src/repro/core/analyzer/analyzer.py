@@ -31,10 +31,10 @@ from repro.core.analyzer.dataflow import ReachingDefinitions
 from repro.core.analyzer.descriptors import (
     DELTA,
     DIRECT,
-    InputAnalysis,
-    JobAnalysis,
     PROJECT,
     SELECT,
+    InputAnalysis,
+    JobAnalysis,
 )
 from repro.core.analyzer.lowering import LoweredFunction, lower_function
 from repro.core.analyzer.projection import find_project

@@ -33,8 +33,8 @@ from repro.core.analyzer.conditions import (
     SCompare,
     SOpaque,
     SParamField,
-    SymExpr,
     SymbolicResolver,
+    SymExpr,
 )
 from repro.core.analyzer.descriptors import (
     DeltaCompressionDescriptor,

@@ -34,9 +34,9 @@ import textwrap
 from typing import List, Optional, Tuple
 
 from repro.core.analyzer.conditions import (
+    ROLE_VALUE,
     Conjunct,
     MemberEnv,
-    ROLE_VALUE,
     SelectionFormula,
     SymbolicResolver,
     conjunction_dnf,

@@ -18,8 +18,8 @@ from __future__ import annotations
 from typing import List
 
 from repro.core.analyzer import ir
-from repro.core.analyzer.lowering import LoweredFunction
 from repro.core.analyzer.descriptors import SideEffect
+from repro.core.analyzer.lowering import LoweredFunction
 
 CATEGORY_PRINT = "print"
 CATEGORY_FILE_IO = "file-io"

@@ -2,25 +2,25 @@
 
 from repro.core.optimizer.catalog import (
     ALL_KINDS,
-    Catalog,
-    IndexEntry,
     KIND_DELTA,
     KIND_DICTIONARY,
     KIND_PROJECTION,
     KIND_PROJECTION_DELTA,
     KIND_SELECTION,
     KIND_SELECTION_PROJECTION,
+    Catalog,
+    IndexEntry,
 )
+from repro.core.optimizer.costbased import CostBasedOptimizer
 from repro.core.optimizer.indexgen import (
     IndexGenerationProgram,
     synthesize_program,
 )
-from repro.core.optimizer.costbased import CostBasedOptimizer
 from repro.core.optimizer.planner import (
+    RANKING,
     ExecutionDescriptor,
     InputPlan,
     Optimizer,
-    RANKING,
 )
 from repro.core.optimizer.predicates import (
     IndexableSelection,

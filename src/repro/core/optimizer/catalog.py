@@ -149,6 +149,22 @@ class Catalog:
     _INSTANCE_SEQ = 0
     _INSTANCE_SEQ_LOCK = threading.Lock()
 
+    @staticmethod
+    def tenant_catalog_dir(root: str, tenant: str) -> str:
+        """The namespaced catalog directory for one tenant of a server.
+
+        The query service gives every tenant its own ``catalog.json``
+        (and index files) under one data root, so tenants share the
+        execution engine but never each other's optimizer state::
+
+            <root>/tenants/<tenant>/catalog/catalog.json
+
+        The existing file-lock/transaction machinery then applies per
+        tenant unchanged -- concurrent mutations within a tenant are
+        serialized, and cross-tenant mutations never contend.
+        """
+        return os.path.join(root, "tenants", tenant, "catalog")
+
     def __init__(self, directory: str,
                  space_budget_bytes: Optional[int] = None):
         self.directory = directory

@@ -33,7 +33,7 @@ from repro.core.optimizer.pruning import (
     SelectionCompiler,
     prune_partitions,
 )
-from repro.mapreduce.cost import CostModel, PAPER_CLUSTER
+from repro.mapreduce.cost import PAPER_CLUSTER, CostModel
 from repro.mapreduce.formats import PartitionedInput, RecordFileInput
 from repro.mapreduce.metrics import JobMetrics
 from repro.storage.partitioned import (

@@ -29,8 +29,8 @@ from repro.core.analyzer.descriptors import InputAnalysis, JobAnalysis
 from repro.core.optimizer import catalog as cat
 from repro.core.optimizer.catalog import Catalog, IndexEntry
 from repro.core.optimizer.pruning import (
-    SelectionCompiler,
     PruneResult,
+    SelectionCompiler,
     prune_partitions,
 )
 from repro.mapreduce.formats import (

@@ -21,11 +21,11 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.core.analyzer.conditions import (
     CMP_MIRROR,
+    ROLE_VALUE,
     SCompare,
     SConst,
     SelectionFormula,
     SParamField,
-    ROLE_VALUE,
 )
 from repro.mapreduce.formats import KeyRange
 from repro.storage.orderkeys import encode_key, successor

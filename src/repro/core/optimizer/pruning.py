@@ -25,9 +25,9 @@ from typing import Dict, List, Optional
 
 from repro.core.analyzer.descriptors import InputAnalysis
 from repro.core.optimizer.predicates import (
+    UNBOUNDED,
     IndexableSelection,
     Interval,
-    UNBOUNDED,
     candidate_fields,
     compile_selection,
 )

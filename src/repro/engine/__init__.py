@@ -23,9 +23,9 @@ machinery so it is paid once and reused:
 measure cold-start against reuse).
 """
 
-from repro.engine.service import ExecutionEngine, get_engine, set_engine
-from repro.engine.pool import WorkerPool, default_worker_count
 from repro.engine.dag import StageDAG
+from repro.engine.pool import WorkerPool, default_worker_count
+from repro.engine.service import ExecutionEngine, get_engine, set_engine
 
 __all__ = [
     "ExecutionEngine",

@@ -40,9 +40,9 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import JobExecutionError
+from repro.mapreduce import shuffle
 from repro.mapreduce.job import JobConf
 from repro.mapreduce.runtime import execute_map_task, execute_reduce_partition
-from repro.mapreduce import shuffle
 
 
 def default_worker_count() -> int:
@@ -210,7 +210,9 @@ class WorkerPool:
         #: jobs currently dispatching on self._pool; growth/replacement
         #: only happens at zero, so a pool is never shut down under a job
         self._active_jobs = 0
-        self._lock = threading.Lock()
+        #: re-entrant so overlapping shutdown paths (engine drain, atexit)
+        #: can never deadlock against themselves
+        self._lock = threading.RLock()
         self._token_seq = itertools.count()
         #: scheduling-path counters, exposed via ``stats()``
         self.jobs_pooled = 0

@@ -42,7 +42,10 @@ class ExecutionEngine:
         self.analysis_cache = MemoCache(maxsize=analysis_cache_size)
         self.plan_cache = MemoCache(maxsize=plan_cache_size)
         self._stage_pool: Optional[ThreadPoolExecutor] = None
-        self._lock = threading.Lock()
+        # Re-entrant: shutdown() may be reached again from inside a
+        # shutdown already in progress (server drain + atexit hook).
+        self._lock = threading.RLock()
+        self._shutting_down = False
 
     # -- cached analysis ------------------------------------------------------
 
@@ -165,12 +168,31 @@ class ExecutionEngine:
         self.plan_cache.clear()
 
     def shutdown(self) -> None:
-        """Release the worker processes and stage threads."""
-        self.pool.shutdown()
+        """Release the worker processes and stage threads.
+
+        Idempotent and re-entrant: the engine is shut down from several
+        independent paths -- a query server's drain, the ``atexit`` hook
+        registered by :func:`get_engine`, explicit benchmark teardown --
+        and those paths can overlap (atexit firing while a drain is mid
+        shutdown, or a stage thread reaching shutdown recursively).  A
+        call that finds another shutdown already in progress returns
+        immediately instead of deadlocking or double-releasing; a call
+        that finds everything already released is a no-op.  The engine
+        stays usable afterwards: the worker pool and stage pool are
+        rebuilt lazily on the next job.
+        """
         with self._lock:
-            if self._stage_pool is not None:
-                self._stage_pool.shutdown(wait=False, cancel_futures=True)
-                self._stage_pool = None
+            if self._shutting_down:
+                return
+            self._shutting_down = True
+            stage_pool, self._stage_pool = self._stage_pool, None
+        try:
+            self.pool.shutdown()
+            if stage_pool is not None:
+                stage_pool.shutdown(wait=False, cancel_futures=True)
+        finally:
+            with self._lock:
+                self._shutting_down = False
 
 
 # -- the process-wide shared engine ------------------------------------------

@@ -27,6 +27,7 @@ from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exceptions import CorruptFileError, JobConfigError
 from repro.mapreduce.keyspace import estimate_size
+from repro.storage import varint
 from repro.storage.btree import BTree
 from repro.storage.delta import DeltaFileReader
 from repro.storage.dictionary import DictionaryFileReader
@@ -37,7 +38,6 @@ from repro.storage.partitioned import (
 )
 from repro.storage.recordfile import BlockInfo, RecordFileReader
 from repro.storage.serialization import FieldDecodeCounter, Record, Schema
-from repro.storage import varint
 
 
 class InputSplit:

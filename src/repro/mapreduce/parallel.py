@@ -48,7 +48,8 @@ from typing import Any, List, Optional, Tuple
 
 from repro.engine.pool import WorkerPool, _JobState, default_worker_count
 from repro.exceptions import JobConfigError
-from repro.mapreduce.counters import Counters, FRAMEWORK_GROUP
+from repro.mapreduce import shuffle
+from repro.mapreduce.counters import FRAMEWORK_GROUP, Counters
 from repro.mapreduce.job import JobConf, JobResult
 from repro.mapreduce.metrics import JobMetrics
 from repro.mapreduce.runtime import (
@@ -56,7 +57,6 @@ from repro.mapreduce.runtime import (
     _account_partitions,
     write_job_output,
 )
-from repro.mapreduce import shuffle
 
 
 class ParallelJobRunner:

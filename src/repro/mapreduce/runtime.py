@@ -33,7 +33,7 @@ from typing import Any, Iterable, List, Optional, Tuple
 
 from repro.exceptions import JobExecutionError
 from repro.mapreduce.api import Context
-from repro.mapreduce.counters import Counters, FRAMEWORK_GROUP
+from repro.mapreduce.counters import FRAMEWORK_GROUP, Counters
 from repro.mapreduce.job import JobConf, JobResult
 from repro.mapreduce.keyspace import estimate_size, sort_key
 from repro.mapreduce.metrics import JobMetrics

@@ -1,0 +1,70 @@
+"""The multi-tenant query service: a long-running front door.
+
+Everything before this package runs the optimizer in-process: a
+``Session`` or ``Manimal`` object living inside the caller's interpreter.
+The service turns the shared :class:`~repro.engine.service.
+ExecutionEngine` into an actual *server* -- the ROADMAP's "millions of
+users" step:
+
+* :class:`~repro.service.server.QueryServer` -- a socket server speaking
+  a length-prefixed JSON protocol (submit / poll / fetch / explain /
+  catalog ops), executing every tenant's queries on one process-wide
+  engine;
+* :class:`~repro.service.scheduler.FairScheduler` -- admission control
+  (bounded per-tenant queues rejecting with a retryable error) and
+  weighted round-robin draining into a capped in-flight window, so no
+  tenant can starve another;
+* :class:`~repro.service.tenancy.TenantRegistry` -- per-tenant sessions
+  and catalogs namespaced under one server data root;
+* :class:`~repro.service.results.ResultCache` -- repeat submissions
+  served as cached bytes, keyed by the canonical query form, the input
+  files' fingerprints, and the tenant catalog's generation;
+* :func:`~repro.service.client.connect` -- the thin blocking client,
+  returning a ``Session``-like remote handle.
+
+Every served result is byte-identical to what the same query would
+produce in-process: the server replays the client's op list against a
+real ``Session`` (see :mod:`repro.api.remote`), and the cache stores the
+serialized bytes of such a run.
+"""
+
+from repro.service.client import (
+    RemoteDataset,
+    RemoteSession,
+    ServiceError,
+    connect,
+)
+from repro.service.payload import deserialize_rows, serialize_rows
+from repro.service.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_BUSY,
+    ERR_EXECUTION,
+    ERR_SHUTTING_DOWN,
+    ERR_UNKNOWN_JOB,
+)
+from repro.service.results import ResultCache, result_cache_key
+from repro.service.scheduler import AdmissionError, FairScheduler, QueryJob
+from repro.service.server import QueryServer
+from repro.service.tenancy import TenantRegistry, validate_tenant
+
+__all__ = [
+    "AdmissionError",
+    "ERR_BAD_REQUEST",
+    "ERR_BUSY",
+    "ERR_EXECUTION",
+    "ERR_SHUTTING_DOWN",
+    "ERR_UNKNOWN_JOB",
+    "FairScheduler",
+    "QueryJob",
+    "QueryServer",
+    "RemoteDataset",
+    "RemoteSession",
+    "ResultCache",
+    "ServiceError",
+    "TenantRegistry",
+    "connect",
+    "deserialize_rows",
+    "result_cache_key",
+    "serialize_rows",
+    "validate_tenant",
+]

@@ -1,0 +1,78 @@
+"""Run a query server from the command line::
+
+    PYTHONPATH=src python -m repro.service --data-root ./service-data \\
+        --port 7878 --max-in-flight 2 --parallelism 2
+
+Prints the bound address (one ``READY host port`` line, so scripts can
+wait for it), then serves until SIGINT/SIGTERM, draining in-flight
+queries before exiting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+
+from repro.service.server import QueryServer
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Multi-tenant query server over the shared engine.",
+    )
+    parser.add_argument("--data-root", required=True,
+                        help="directory for per-tenant catalogs/data")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="0 picks a free port (printed on READY)")
+    parser.add_argument("--max-in-flight", type=int, default=2)
+    parser.add_argument("--max-queue-depth", type=int, default=16)
+    parser.add_argument("--parallelism", type=int, default=None,
+                        help="worker processes per query (session default)")
+    parser.add_argument("--result-cache-bytes", type=int, default=None,
+                        help="result-cache budget; 0 disables the cache")
+    parser.add_argument("--weight", action="append", default=[],
+                        metavar="TENANT=N",
+                        help="scheduling weight for a tenant (repeatable)")
+    args = parser.parse_args(argv)
+
+    weights = {}
+    for spec in args.weight:
+        tenant, _, raw = spec.partition("=")
+        if not tenant or not raw.isdigit():
+            parser.error(f"--weight must look like tenant=N, got {spec!r}")
+        weights[tenant] = int(raw)
+
+    server = QueryServer(
+        args.data_root,
+        host=args.host,
+        port=args.port,
+        max_in_flight=args.max_in_flight,
+        max_queue_depth=args.max_queue_depth,
+        weights=weights or None,
+        result_cache_bytes=args.result_cache_bytes,
+        parallelism=args.parallelism,
+    )
+    server.start()
+    host, port = server.address
+    print(f"READY {host} {port}", flush=True)
+
+    stop = threading.Event()
+
+    def _stop(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGINT, _stop)
+    signal.signal(signal.SIGTERM, _stop)
+    stop.wait()
+    print("draining...", flush=True)
+    server.close()
+    print("stopped", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

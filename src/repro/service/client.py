@@ -1,0 +1,307 @@
+"""The thin blocking client for the query service.
+
+:func:`connect` opens one TCP connection and returns a
+:class:`RemoteSession` -- a handle mirroring the in-process
+:class:`~repro.api.session.Session` surface (``read`` -> fluent chain ->
+``collect``/``write``/``explain``), except that datasets are *recorded*
+rather than built: each fluent call appends a JSON-serializable op to a
+:class:`RemoteDataset`'s op list (:mod:`repro.api.remote`), and actions
+ship the list to the server, which replays it against the tenant's
+real server-side ``Session``.  Collected rows are therefore
+byte-identical (as canonical payloads, :mod:`repro.service.payload`)
+to what the same chain returns in-process.
+
+The client is deliberately blocking and single-connection: ``collect``
+submits, then polls/fetches until the job finishes.  Admission rejections
+(the retryable ``busy`` error) are retried with exponential backoff up to
+``busy_retries`` times before surfacing as :class:`ServiceError` --
+callers see backpressure as latency first, errors only under sustained
+overload.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.api.expressions import Expr
+from repro.api.remote import (
+    OpList,
+    op_agg,
+    op_filter,
+    op_join,
+    op_map,
+    op_read,
+    op_select,
+)
+from repro.exceptions import ReproError
+from repro.service.payload import deserialize_rows
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_bytes,
+    recv_frame,
+    send_frame,
+)
+from repro.storage.serialization import Schema
+
+
+class ServiceError(ReproError):
+    """A request failed server-side (carries the protocol error code)."""
+
+    def __init__(self, code: str, message: str, retryable: bool = False):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.retryable = retryable
+
+
+def connect(host: str = "127.0.0.1", port: int = 0, tenant: str = "default",
+            timeout: Optional[float] = 60.0,
+            busy_retries: int = 8) -> "RemoteSession":
+    """Open a connection and return a Session-like remote handle.
+
+    ::
+
+        with connect(port=server_port, tenant="alice") as session:
+            pages = session.read("/data/webpages.rf")
+            rows = pages.filter(col("rank") > 990).collect()
+    """
+    return RemoteSession(host, port, tenant, timeout=timeout,
+                         busy_retries=busy_retries)
+
+
+class RemoteSession:
+    """One tenant's blocking connection to a :class:`QueryServer`."""
+
+    def __init__(self, host: str, port: int, tenant: str,
+                 timeout: Optional[float] = 60.0, busy_retries: int = 8):
+        self.tenant = tenant
+        self.timeout = timeout
+        self.busy_retries = busy_retries
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        hello = self.call({"op": "hello"})
+        if hello.get("protocol") != PROTOCOL_VERSION:
+            self.close()
+            raise ServiceError(
+                "bad-request",
+                f"server speaks protocol {hello.get('protocol')}, "
+                f"client speaks {PROTOCOL_VERSION}",
+            )
+
+    # -- plumbing ------------------------------------------------------------
+
+    def call(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """One request/response round trip; raises on error frames."""
+        request.setdefault("tenant", self.tenant)
+        send_frame(self._sock, request)
+        response = recv_frame(self._sock)
+        if response is None:
+            raise ProtocolError("server closed the connection")
+        if not response.get("ok"):
+            err = response.get("error") or {}
+            raise ServiceError(
+                err.get("code", "unknown"),
+                err.get("message", "unknown error"),
+                retryable=bool(err.get("retryable")),
+            )
+        return response
+
+    def _call_with_backoff(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """``call`` retrying retryable (admission) errors with backoff."""
+        delay = 0.05
+        for attempt in range(self.busy_retries + 1):
+            try:
+                return self.call(dict(request))
+            except ServiceError as exc:
+                if not exc.retryable or attempt == self.busy_retries:
+                    raise
+            time.sleep(delay)
+            delay = min(delay * 2, 2.0)
+        raise AssertionError("unreachable")
+
+    # -- session surface -----------------------------------------------------
+
+    def read(self, path: str) -> "RemoteDataset":
+        """Start a fluent chain over a server-visible record file."""
+        return RemoteDataset(self, [op_read(path)])
+
+    read_record_file = read
+
+    def explain(self, dataset: "RemoteDataset") -> str:
+        response = self.call({"op": "explain", "query": dataset.ops})
+        return response["explain"]
+
+    def catalog(self) -> Dict[str, Any]:
+        """The tenant catalog: generation, index and dataset entries."""
+        response = self.call({"op": "catalog", "action": "list"})
+        return {k: response[k] for k in ("generation", "indexes", "datasets")}
+
+    def drop_index(self, index_id: str) -> int:
+        """Remove one index; returns the new catalog generation."""
+        response = self.call({
+            "op": "catalog", "action": "drop-index", "index_id": index_id,
+        })
+        return response["generation"]
+
+    def build_indexes(self, dataset: "RemoteDataset",
+                      allowed_kinds: Optional[List[str]] = None
+                      ) -> List[Dict[str, Any]]:
+        """Admin action: build indexes for the chain's base inputs."""
+        response = self._call_with_backoff({
+            "op": "catalog", "action": "build-indexes",
+            "query": dataset.ops, "allowed_kinds": allowed_kinds,
+        })
+        payload = self._fetch(response["job_id"])
+        return deserialize_rows(payload)
+
+    def server_stats(self) -> Dict[str, Any]:
+        return self.call({"op": "stats"})
+
+    # -- job plumbing --------------------------------------------------------
+
+    def submit(self, dataset: "RemoteDataset",
+               options: Optional[Dict[str, Any]] = None,
+               write: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """Submit a chain; returns the raw response (job_id, cached)."""
+        request: Dict[str, Any] = {"op": "submit", "query": dataset.ops}
+        if options:
+            request["options"] = options
+        if write is not None:
+            request["write"] = write
+        return self._call_with_backoff(request)
+
+    def poll(self, job_id: str) -> Dict[str, Any]:
+        return self.call({"op": "poll", "job_id": job_id})
+
+    def _fetch(self, job_id: str) -> bytes:
+        """Block until a job finishes and return its payload bytes."""
+        while True:
+            response = self.call({
+                "op": "fetch", "job_id": job_id,
+                "timeout": self.timeout if self.timeout else 60.0,
+            })
+            if response.get("payload") is not None:
+                return decode_bytes(response["payload"])
+            # Not terminal yet (server-side wait timed out): keep waiting.
+
+    def collect(self, dataset: "RemoteDataset",
+                options: Optional[Dict[str, Any]] = None
+                ) -> List[Tuple[Any, Any]]:
+        submitted = self.submit(dataset, options=options)
+        payload = self._fetch(submitted["job_id"])
+        return deserialize_rows(payload)
+
+    def collect_bytes(self, dataset: "RemoteDataset",
+                      options: Optional[Dict[str, Any]] = None
+                      ) -> Tuple[bytes, bool]:
+        """(payload bytes, served-from-cache) -- the byte-identity hook."""
+        submitted = self.submit(dataset, options=options)
+        payload = self._fetch(submitted["job_id"])
+        return payload, bool(submitted.get("cached"))
+
+    def write(self, dataset: "RemoteDataset", path: str,
+              partition_by: Optional[str] = None,
+              num_partitions: Optional[int] = None,
+              options: Optional[Dict[str, Any]] = None) -> str:
+        """Write a chain's result under the tenant data dir; returns the
+        server-side path."""
+        spec: Dict[str, Any] = {"path": path}
+        if partition_by is not None:
+            spec["partition_by"] = partition_by
+        if num_partitions is not None:
+            spec["num_partitions"] = num_partitions
+        submitted = self.submit(dataset, options=options, write=spec)
+        self._fetch(submitted["job_id"])
+        return submitted["path"]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "RemoteSession":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class RemoteDataset:
+    """A recorded fluent chain (an op list) bound to a RemoteSession.
+
+    Mirrors the :class:`~repro.api.dataset.Dataset` builder surface;
+    each call returns a new handle, so chains fork safely.
+    """
+
+    def __init__(self, session: RemoteSession, ops: OpList):
+        self._session = session
+        self.ops = ops
+
+    def _derive(self, op: Dict[str, Any]) -> "RemoteDataset":
+        return RemoteDataset(self._session, self.ops + [op])
+
+    # -- builders (mirror Dataset) ------------------------------------------
+
+    def filter(self, predicate: Union[Expr, Callable[[Any], bool]]
+               ) -> "RemoteDataset":
+        return self._derive(op_filter(predicate))
+
+    def select(self, *columns: str) -> "RemoteDataset":
+        return self._derive(op_select(list(columns)))
+
+    def map(self, fn: Callable[[Any, Any], Tuple[Any, Any]],
+            key_schema: Optional[Schema] = None,
+            value_schema: Optional[Schema] = None) -> "RemoteDataset":
+        return self._derive(op_map(fn, key_schema, value_schema))
+
+    def group_by(self, column: str) -> "RemoteGroupedDataset":
+        return RemoteGroupedDataset(self, column)
+
+    def join(self, other: "RemoteDataset", on: str) -> "RemoteDataset":
+        return self._derive(op_join(other.ops, on))
+
+    # -- actions -------------------------------------------------------------
+
+    def collect(self, **options: Any) -> List[Tuple[Any, Any]]:
+        return self._session.collect(self, options=options or None)
+
+    def collect_bytes(self, **options: Any) -> Tuple[bytes, bool]:
+        return self._session.collect_bytes(self, options=options or None)
+
+    def write(self, path: str, partition_by: Optional[str] = None,
+              num_partitions: Optional[int] = None,
+              **options: Any) -> str:
+        return self._session.write(
+            self, path, partition_by=partition_by,
+            num_partitions=num_partitions, options=options or None,
+        )
+
+    def explain(self) -> str:
+        return self._session.explain(self)
+
+    def build_indexes(self, allowed_kinds: Optional[List[str]] = None
+                      ) -> List[Dict[str, Any]]:
+        return self._session.build_indexes(self, allowed_kinds=allowed_kinds)
+
+    def __repr__(self) -> str:
+        names = "->".join(op.get("op", "?") for op in self.ops)
+        return f"RemoteDataset({names})"
+
+
+class RemoteGroupedDataset:
+    """Mirror of :class:`~repro.api.dataset.GroupedDataset`."""
+
+    def __init__(self, parent: RemoteDataset, column: str):
+        self._parent = parent
+        self._column = column
+
+    def agg(self, **aggs: Any) -> RemoteDataset:
+        return self._parent._derive(op_agg(self._column, aggs))
+
+    def count(self) -> RemoteDataset:
+        return self.agg(count=("count", None))

@@ -1,0 +1,135 @@
+"""Length-prefixed JSON framing for the query service.
+
+One frame = a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON.  Both directions use the same framing; a request is
+a JSON object with an ``"op"`` field, a response is a JSON object with
+``"ok": true`` plus op-specific fields, or ``"ok": false`` plus an
+``"error"`` object::
+
+    {"ok": false,
+     "error": {"code": "busy", "message": "...", "retryable": true}}
+
+Binary payloads (pickled result rows) ride inside the JSON as base64
+strings -- the protocol stays pure length-prefixed JSON, which keeps it
+inspectable and implementable from any language.
+
+The frame length is capped (:data:`MAX_FRAME_BYTES` by default) so a
+corrupt or hostile length prefix cannot make the server allocate
+gigabytes; an oversized frame raises :class:`ProtocolError` and the
+connection is dropped.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import socket
+import struct
+from typing import Any, Dict, Optional
+
+from repro.exceptions import ReproError
+
+#: Protocol revision, exchanged in ``hello``.
+PROTOCOL_VERSION = 1
+
+#: Default upper bound for one frame (requests and responses).
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+# Error codes.  ``retryable`` in the error object tells clients whether
+# backing off and resubmitting can succeed.
+ERR_BAD_REQUEST = "bad-request"       # malformed frame/op: do not retry
+ERR_BUSY = "busy"                     # admission control: retry with backoff
+ERR_EXECUTION = "execution-error"     # the query itself failed
+ERR_SHUTTING_DOWN = "shutting-down"   # server is draining
+ERR_UNKNOWN_JOB = "unknown-job"       # job id not found for this tenant
+ERR_UNKNOWN_OP = "unknown-op"
+
+#: Codes for which a retry may succeed.
+RETRYABLE_CODES = frozenset({ERR_BUSY})
+
+
+class ProtocolError(ReproError):
+    """A frame violated the wire protocol (length, encoding, shape)."""
+
+
+def encode_bytes(data: bytes) -> str:
+    """Binary payload -> base64 text for embedding in a JSON frame."""
+    return base64.b64encode(data).decode("ascii")
+
+
+def decode_bytes(text: str) -> bytes:
+    return base64.b64decode(text.encode("ascii"))
+
+
+def send_frame(sock: socket.socket, message: Dict[str, Any],
+               max_frame: int = MAX_FRAME_BYTES) -> None:
+    """Serialize and send one length-prefixed JSON frame."""
+    try:
+        payload = json.dumps(message, separators=(",", ":"),
+                             sort_keys=True).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"message is not JSON-serializable: {exc}") from exc
+    if len(payload) > max_frame:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the {max_frame}-byte cap"
+        )
+    sock.sendall(_LEN.pack(len(payload)) + payload)
+
+
+def recv_frame(sock: socket.socket,
+               max_frame: int = MAX_FRAME_BYTES) -> Optional[Dict[str, Any]]:
+    """Receive one frame; ``None`` on a clean EOF before any bytes.
+
+    EOF mid-frame and malformed payloads raise :class:`ProtocolError` --
+    a half-received request must never be acted on.
+    """
+    header = _recv_exact(sock, _LEN.size, allow_eof=True)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > max_frame:
+        raise ProtocolError(
+            f"peer announced a {length}-byte frame; cap is {max_frame}"
+        )
+    payload = _recv_exact(sock, length, allow_eof=False)
+    assert payload is not None
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def _recv_exact(sock: socket.socket, n: int,
+                allow_eof: bool) -> Optional[bytes]:
+    """Read exactly ``n`` bytes (``None`` on immediate EOF if allowed)."""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if allow_eof and remaining == n:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({n - remaining}/{n} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def error_response(code: str, message: str,
+                   retryable: Optional[bool] = None) -> Dict[str, Any]:
+    """The canonical error frame body."""
+    if retryable is None:
+        retryable = code in RETRYABLE_CODES
+    return {
+        "ok": False,
+        "error": {"code": code, "message": message, "retryable": retryable},
+    }

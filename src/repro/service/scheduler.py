@@ -1,0 +1,320 @@
+"""Admission control and weighted fair scheduling for the query server.
+
+The engine's :class:`~repro.engine.pool.WorkerPool` already makes
+*parallelism* safe to share -- each job's tasks are throttled to its own
+worker count.  What it does not decide is *whose job runs next* when many
+tenants submit at once.  This module adds that policy layer in front of
+the pool:
+
+* **admission control** -- each tenant has a bounded submission queue;
+  a submit that finds the queue full is rejected immediately with a
+  *retryable* :class:`AdmissionError` (clients back off and resubmit)
+  instead of being buffered without bound.  Rejecting at the door keeps
+  the server's memory and tail latency bounded under overload.
+* **weighted round-robin draining** -- queued jobs enter a capped
+  in-flight window (``max_in_flight``) in round-robin order over
+  tenants; a tenant with weight *w* takes up to *w* consecutive turns
+  per cycle.  A tenant that floods its queue therefore delays only its
+  own backlog: every other tenant still gets its turn each cycle, so no
+  tenant starves (the Polynesia-grounded requirement that concurrent
+  workloads sharing one engine must not break each other).
+
+The scheduler is policy only: it decides dispatch order, then runs each
+job's thunk on a small thread pool, and each thunk fans its map/reduce
+tasks out on the shared process-wide worker pool as usual.  It knows
+nothing about queries -- the server hands it opaque callables -- which
+keeps it independently testable.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from repro.exceptions import ReproError
+
+#: Job states, in lifecycle order.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+ERROR = "error"
+
+TERMINAL_STATES = (DONE, ERROR)
+
+
+class AdmissionError(ReproError):
+    """A submission was rejected at the door (queue full / draining)."""
+
+    def __init__(self, message: str, retryable: bool = True):
+        super().__init__(message)
+        self.retryable = retryable
+
+
+class QueryJob:
+    """One scheduled unit of work and its observable lifecycle."""
+
+    def __init__(self, job_id: str, tenant: str,
+                 fn: Callable[[], Any], label: str = ""):
+        self.job_id = job_id
+        self.tenant = tenant
+        self.label = label
+        self._fn = fn
+        self.state = QUEUED
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.submitted_at = time.monotonic()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self._done = threading.Event()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job reaches a terminal state."""
+        return self._done.wait(timeout)
+
+    @property
+    def queue_seconds(self) -> Optional[float]:
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    @property
+    def run_seconds(self) -> Optional[float]:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-safe view of the job for poll responses."""
+        view: Dict[str, Any] = {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "state": self.state,
+        }
+        if self.label:
+            view["label"] = self.label
+        if self.queue_seconds is not None:
+            view["queue_seconds"] = round(self.queue_seconds, 6)
+        if self.run_seconds is not None:
+            view["run_seconds"] = round(self.run_seconds, 6)
+        if self.error is not None:
+            view["error_message"] = str(self.error)
+        return view
+
+
+class FairScheduler:
+    """Bounded per-tenant queues drained weighted-round-robin.
+
+    :param max_in_flight: jobs running concurrently across all tenants
+        (each runs on one scheduler thread and fans tasks out to the
+        shared worker pool).
+    :param max_queue_depth: queued (not yet running) jobs each tenant
+        may hold; further submits raise a retryable
+        :class:`AdmissionError`.
+    :param weights: tenant name -> integer weight (default 1).  A tenant
+        with weight 2 gets two dispatch turns per round-robin cycle.
+    """
+
+    def __init__(self, max_in_flight: int = 2, max_queue_depth: int = 16,
+                 weights: Optional[Dict[str, int]] = None):
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        self.max_in_flight = max_in_flight
+        self.max_queue_depth = max_queue_depth
+        self._weights = dict(weights or {})
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._queues: Dict[str, Deque[QueryJob]] = {}
+        #: round-robin order: tenants in first-seen order
+        self._order: List[str] = []
+        self._rr_index = 0
+        self._credits: Dict[str, int] = {}
+        self._in_flight = 0
+        self._seq = itertools.count(1)
+        self._draining = False
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_in_flight, thread_name_prefix="service-query"
+        )
+        # Counters (exposed via stats()).
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+        self._dispatched: Dict[str, int] = {}
+
+    # -- admission -----------------------------------------------------------
+
+    def submit(self, tenant: str, fn: Callable[[], Any],
+               label: str = "") -> QueryJob:
+        """Queue one job for ``tenant``; dispatch if a slot is free.
+
+        :raises AdmissionError: queue full (retryable) or scheduler
+            draining (not retryable).
+        """
+        with self._lock:
+            if self._draining:
+                self.rejected += 1
+                raise AdmissionError(
+                    "scheduler is draining; no new submissions",
+                    retryable=False,
+                )
+            queue = self._queues.get(tenant)
+            if queue is None:
+                queue = self._queues[tenant] = deque()
+                self._order.append(tenant)
+                self._credits[tenant] = self._weight(tenant)
+            if len(queue) >= self.max_queue_depth:
+                self.rejected += 1
+                raise AdmissionError(
+                    f"tenant {tenant!r} queue is full "
+                    f"({self.max_queue_depth} jobs); retry with backoff"
+                )
+            job = QueryJob(f"q{next(self._seq)}", tenant, fn, label=label)
+            queue.append(job)
+            self.submitted += 1
+            self._pump()
+            return job
+
+    def set_weight(self, tenant: str, weight: int) -> None:
+        if weight < 1:
+            raise ValueError("tenant weight must be >= 1")
+        with self._lock:
+            self._weights[tenant] = weight
+
+    def _weight(self, tenant: str) -> int:
+        return max(1, int(self._weights.get(tenant, 1)))
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _pump(self) -> None:
+        """Fill free in-flight slots in weighted round-robin order.
+
+        Caller holds the lock.  Fairness invariant: consecutive picks
+        stay on one tenant only while it has credits; when its credits
+        run out the pointer advances, and when no queued tenant has
+        credits left everyone's credits are replenished -- one "cycle".
+        A tenant with weight w is therefore dispatched at most w times
+        per cycle while any other tenant is waiting.
+        """
+        while self._in_flight < self.max_in_flight:
+            job = self._next_job()
+            if job is None:
+                return
+            self._in_flight += 1
+            job.state = RUNNING
+            job.started_at = time.monotonic()
+            self._dispatched[job.tenant] = (
+                self._dispatched.get(job.tenant, 0) + 1
+            )
+            self._pool.submit(self._run, job)
+
+    def _next_job(self) -> Optional[QueryJob]:
+        """The next job under weighted round-robin (lock held)."""
+        if not self._order:
+            return None
+        for attempt in range(2):
+            n = len(self._order)
+            for step in range(n):
+                idx = (self._rr_index + step) % n
+                tenant = self._order[idx]
+                if not self._queues.get(tenant):
+                    continue
+                if self._credits.get(tenant, 0) <= 0:
+                    continue
+                self._credits[tenant] -= 1
+                # Stay on this tenant while it has credit; else move on.
+                self._rr_index = idx if self._credits[tenant] > 0 else (
+                    (idx + 1) % n
+                )
+                return self._queues[tenant].popleft()
+            if attempt == 0:
+                if not any(self._queues.get(t) for t in self._order):
+                    return None
+                # Queued work exists but every queued tenant is out of
+                # credits: start a new cycle.
+                for tenant in self._order:
+                    self._credits[tenant] = self._weight(tenant)
+        return None
+
+    def _run(self, job: QueryJob) -> None:
+        try:
+            job.result = job._fn()
+            job.state = DONE
+        except BaseException as exc:  # noqa: BLE001 -- surfaced via poll/fetch
+            job.error = exc
+            job.state = ERROR
+        finally:
+            job.finished_at = time.monotonic()
+            job._done.set()
+            with self._lock:
+                self._in_flight -= 1
+                if job.state == DONE:
+                    self.completed += 1
+                else:
+                    self.failed += 1
+                self._pump()
+                self._idle.notify_all()
+
+    # -- introspection -------------------------------------------------------
+
+    def queue_position(self, job: QueryJob) -> Optional[int]:
+        """0-based position in its tenant queue; None once dispatched."""
+        with self._lock:
+            queue = self._queues.get(job.tenant)
+            if not queue:
+                return None
+            for i, queued in enumerate(queue):
+                if queued is job:
+                    return i
+            return None
+
+    def backlog(self, tenant: Optional[str] = None) -> int:
+        with self._lock:
+            if tenant is not None:
+                return len(self._queues.get(tenant, ()))
+            return sum(len(q) for q in self._queues.values())
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "max_in_flight": self.max_in_flight,
+                "max_queue_depth": self.max_queue_depth,
+                "in_flight": self._in_flight,
+                "backlog": sum(len(q) for q in self._queues.values()),
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "rejected": self.rejected,
+                "dispatched_by_tenant": dict(self._dispatched),
+                "weights": {
+                    t: self._weight(t) for t in self._order
+                },
+            }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admitting, wait for queued + running jobs to finish."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._idle:
+            self._draining = True
+            while self._in_flight or any(
+                self._queues.get(t) for t in self._order
+            ):
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._idle.wait(remaining)
+        return True
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            self._draining = True
+        self._pool.shutdown(wait=wait, cancel_futures=not wait)

@@ -1,0 +1,524 @@
+"""The query server: one socket front door over the shared engine.
+
+:class:`QueryServer` binds a TCP socket and serves the length-prefixed
+JSON protocol of :mod:`repro.service.protocol`.  Each connection gets a
+handler thread that decodes frames and dispatches ops; query execution
+itself flows through the :class:`~repro.service.scheduler.FairScheduler`
+into the process-wide :class:`~repro.engine.service.ExecutionEngine`, so
+one persistent worker pool and one analyzer/planner cache serve every
+tenant.
+
+Execution model per ``submit``:
+
+1. validate the tenant and decode the op list;
+2. compute the result-cache key (canonical ops + input fingerprints +
+   tenant catalog generation).  A hit answers immediately from stored
+   bytes -- the worker pool is never touched;
+3. otherwise admission control: the tenant's bounded queue either
+   accepts the job or the client gets a retryable ``busy`` error;
+4. the scheduler dispatches it (weighted round-robin over tenants); the
+   job replays the op list against the tenant's server-side ``Session``
+   (:func:`repro.api.remote.apply_ops`) and serializes the resulting
+   rows through the canonical payload codec
+   (:mod:`repro.service.payload`).  Because the replayed Dataset *is*
+   the in-process query and the codec is a pure function of row values,
+   the served bytes are byte-identical to an in-process run by
+   construction -- whatever runner or parallelism either side used;
+5. the payload is stored in the result cache under the admission-time
+   key (skipped for index-building runs, which mutate the catalog).
+
+``poll`` observes a job without blocking; ``fetch`` waits (bounded by a
+client-supplied timeout) and returns the payload.  Job state is kept
+until fetched or the server closes -- this is a front door, not a
+durable job store.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.api.remote import apply_ops
+from repro.engine.service import ExecutionEngine, get_engine
+from repro.exceptions import ReproError
+from repro.service.payload import serialize_rows
+from repro.service.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_BUSY,
+    ERR_EXECUTION,
+    ERR_SHUTTING_DOWN,
+    ERR_UNKNOWN_JOB,
+    ERR_UNKNOWN_OP,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    encode_bytes,
+    error_response,
+    recv_frame,
+    send_frame,
+)
+from repro.service.results import ResultCache, result_cache_key
+from repro.service.scheduler import (
+    DONE,
+    ERROR,
+    TERMINAL_STATES,
+    AdmissionError,
+    FairScheduler,
+    QueryJob,
+)
+from repro.service.tenancy import TenantRegistry, TenantState
+
+
+class _JobEntry:
+    """Server-side record of one submitted job."""
+
+    def __init__(self, tenant: str, kind: str,
+                 job: Optional[QueryJob] = None,
+                 payload: Optional[bytes] = None,
+                 cached: bool = False):
+        self.tenant = tenant
+        self.kind = kind
+        self.job = job
+        self.payload = payload
+        self.cached = cached
+
+    @property
+    def job_id(self) -> str:
+        assert self.job is not None
+        return self.job.job_id
+
+    def snapshot(self) -> Dict[str, Any]:
+        assert self.job is not None
+        view = self.job.snapshot()
+        view["kind"] = self.kind
+        view["cached"] = self.cached
+        return view
+
+
+class QueryServer:
+    """A long-running multi-tenant front door over the execution engine.
+
+    :param data_root: directory holding every tenant's namespace
+        (catalog, data, scratch) -- see :mod:`repro.service.tenancy`.
+    :param host/port: bind address; port 0 picks a free port (read it
+        back from :attr:`address` after :meth:`start`).
+    :param max_in_flight / max_queue_depth / weights: scheduler knobs
+        (:class:`~repro.service.scheduler.FairScheduler`).
+    :param result_cache_bytes: result-cache budget; 0 disables caching.
+    :param engine: the shared engine to run on (defaults to the
+        process-wide one).
+    :param session_kwargs: forwarded to each tenant ``Session``
+        (e.g. ``parallelism``, ``cost_based``).
+    """
+
+    def __init__(self, data_root: str, host: str = "127.0.0.1",
+                 port: int = 0, max_in_flight: int = 2,
+                 max_queue_depth: int = 16,
+                 weights: Optional[Dict[str, int]] = None,
+                 result_cache_bytes: Optional[int] = None,
+                 engine: Optional[ExecutionEngine] = None,
+                 **session_kwargs: Any):
+        self.data_root = data_root
+        self._engine = engine if engine is not None else get_engine()
+        session_kwargs.setdefault("engine", self._engine)
+        self.tenants = TenantRegistry(data_root, **session_kwargs)
+        self.scheduler = FairScheduler(
+            max_in_flight=max_in_flight,
+            max_queue_depth=max_queue_depth,
+            weights=weights,
+        )
+        if result_cache_bytes is None:
+            self.results: Optional[ResultCache] = ResultCache()
+        elif result_cache_bytes > 0:
+            self.results = ResultCache(capacity_bytes=result_cache_bytes)
+        else:
+            self.results = None
+        self._host = host
+        self._port = port
+        self._sock: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._conn_threads: list = []
+        self._jobs: Dict[Tuple[str, str], _JobEntry] = {}
+        self._jobs_lock = threading.Lock()
+        self._closing = threading.Event()
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) -- valid after :meth:`start`."""
+        if self._sock is None:
+            raise RuntimeError("server is not started")
+        return self._sock.getsockname()[:2]
+
+    def start(self) -> "QueryServer":
+        """Bind, listen, and serve connections on a background thread."""
+        if self._started:
+            return self
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self._host, self._port))
+        sock.listen(64)
+        self._sock = sock
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="service-accept", daemon=True
+        )
+        self._accept_thread.start()
+        self._started = True
+        return self
+
+    def close(self, drain_timeout: Optional[float] = 30.0) -> None:
+        """Drain and shut down (idempotent).
+
+        Stops accepting, lets queued + running jobs finish (bounded by
+        ``drain_timeout``), then releases tenant sessions and the shared
+        engine's pools.  The engine's :meth:`~repro.engine.service.
+        ExecutionEngine.shutdown` is idempotent and re-entrant, so this
+        composes with the interpreter's own atexit hook.
+        """
+        if self._closing.is_set():
+            return
+        self._closing.set()
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        self.scheduler.drain(timeout=drain_timeout)
+        self.scheduler.shutdown(wait=True)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        for thread in list(self._conn_threads):
+            thread.join(timeout=5.0)
+        self.tenants.close()
+        self._engine.shutdown()
+
+    def __enter__(self) -> "QueryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- connection handling -------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._sock is not None
+        while not self._closing.is_set():
+            try:
+                conn, _addr = self._sock.accept()
+            except OSError:
+                return  # socket closed: shutting down
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,),
+                name="service-conn", daemon=True,
+            )
+            self._conn_threads.append(thread)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with conn:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            while True:
+                try:
+                    request = recv_frame(conn)
+                except ProtocolError as exc:
+                    self._try_send(conn, error_response(
+                        ERR_BAD_REQUEST, str(exc)))
+                    return
+                if request is None:
+                    return  # clean EOF
+                try:
+                    response = self.handle(request)
+                except Exception as exc:  # noqa: BLE001 -- 1 bad frame != dead server
+                    response = error_response(
+                        ERR_BAD_REQUEST, f"internal error: {exc}"
+                    )
+                try:
+                    send_frame(conn, response)
+                except (ProtocolError, OSError):
+                    return
+
+    @staticmethod
+    def _try_send(conn: socket.socket, message: Dict[str, Any]) -> None:
+        try:
+            send_frame(conn, message)
+        except (ProtocolError, OSError):
+            pass
+
+    # -- dispatch ------------------------------------------------------------
+
+    def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Process one decoded request frame (also the in-process entry
+        point the tests drive without sockets)."""
+        op = request.get("op")
+        if op == "hello":
+            return self._op_hello(request)
+        if self._closing.is_set():
+            return error_response(
+                ERR_SHUTTING_DOWN, "server is draining", retryable=False
+            )
+        handlers = {
+            "submit": self._op_submit,
+            "poll": self._op_poll,
+            "fetch": self._op_fetch,
+            "explain": self._op_explain,
+            "catalog": self._op_catalog,
+            "stats": self._op_stats,
+        }
+        handler = handlers.get(op)
+        if handler is None:
+            return error_response(ERR_UNKNOWN_OP, f"unknown op {op!r}")
+        try:
+            return handler(request)
+        except (AdmissionError,) as exc:
+            return error_response(ERR_BUSY, str(exc),
+                                  retryable=exc.retryable)
+        except ReproError as exc:
+            return error_response(ERR_BAD_REQUEST, str(exc))
+
+    def _op_hello(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "ok": True,
+            "protocol": PROTOCOL_VERSION,
+            "server": "repro-query-service",
+            "max_frame_bytes": MAX_FRAME_BYTES,
+        }
+
+    def _tenant_of(self, request: Dict[str, Any]) -> TenantState:
+        return self.tenants.get(request.get("tenant"))
+
+    # -- submit --------------------------------------------------------------
+
+    def _op_submit(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        state = self._tenant_of(request)
+        ops = request.get("query")
+        if not isinstance(ops, list) or not ops:
+            return error_response(
+                ERR_BAD_REQUEST, "submit needs a non-empty 'query' op list"
+            )
+        options = request.get("options") or {}
+        if not isinstance(options, dict):
+            return error_response(ERR_BAD_REQUEST, "'options' must be an object")
+        write_spec = request.get("write")
+        if write_spec is not None:
+            return self._submit_write(state, ops, options, write_spec)
+        build_indexes = bool(options.get("build_indexes"))
+
+        cache_key = None
+        if self.results is not None and not build_indexes:
+            cache_key = result_cache_key(
+                state.tenant, ops, state.catalog.generation
+            )
+            payload = self.results.get(cache_key)
+            if payload is not None:
+                entry = self._register_cached(state.tenant, payload)
+                return {
+                    "ok": True,
+                    "job_id": entry.job_id,
+                    "state": DONE,
+                    "cached": True,
+                }
+
+        run_options = {
+            "build_indexes": build_indexes,
+            "parallelism": options.get("parallelism"),
+            "scheduler": options.get("scheduler"),
+        }
+        results = self.results
+
+        def run_query() -> bytes:
+            with state.lock:
+                dataset = apply_ops(state.session, ops)
+                result = state.session.run(dataset, **run_options)
+            payload = serialize_rows(result.rows)
+            if results is not None and cache_key is not None:
+                # Stored under the admission-time key: if the catalog
+                # generation advanced mid-run, future lookups (computed
+                # against the newer generation) simply never match.
+                results.put(cache_key, payload)
+            return payload
+
+        job = self.scheduler.submit(
+            state.tenant, run_query, label=request.get("label", "")
+        )
+        self._register(_JobEntry(state.tenant, "query", job=job))
+        return {"ok": True, "job_id": job.job_id, "state": job.state,
+                "cached": False}
+
+    def _submit_write(self, state: TenantState, ops: list,
+                      options: Dict[str, Any],
+                      write_spec: Dict[str, Any]) -> Dict[str, Any]:
+        if not isinstance(write_spec, dict) or "path" not in write_spec:
+            return error_response(
+                ERR_BAD_REQUEST, "'write' must be an object with 'path'"
+            )
+        target = state.resolve_write_path(write_spec["path"])
+
+        def run_write() -> bytes:
+            with state.lock:
+                dataset = apply_ops(state.session, ops)
+                state.session.write(
+                    dataset, target,
+                    build_indexes=bool(options.get("build_indexes")),
+                    parallelism=options.get("parallelism"),
+                    partition_by=write_spec.get("partition_by"),
+                    num_partitions=write_spec.get("num_partitions"),
+                )
+            return serialize_rows({"path": target})
+
+        job = self.scheduler.submit(state.tenant, run_write, label="write")
+        self._register(_JobEntry(state.tenant, "write", job=job))
+        return {"ok": True, "job_id": job.job_id, "state": job.state,
+                "cached": False, "path": target}
+
+    # -- job registry --------------------------------------------------------
+
+    _cached_seq = 0
+
+    def _register(self, entry: _JobEntry) -> None:
+        with self._jobs_lock:
+            self._jobs[(entry.tenant, entry.job_id)] = entry
+
+    def _register_cached(self, tenant: str, payload: bytes) -> _JobEntry:
+        """A synthetic already-done job for a result-cache hit."""
+        with self._jobs_lock:
+            QueryServer._cached_seq += 1
+            job = QueryJob(f"c{QueryServer._cached_seq}", tenant,
+                           lambda: None)
+            job.state = DONE
+            job.started_at = job.submitted_at
+            job.finished_at = job.submitted_at
+            job._done.set()
+            entry = _JobEntry(tenant, "query", job=job, payload=payload,
+                              cached=True)
+            self._jobs[(tenant, job.job_id)] = entry
+            return entry
+
+    def _lookup(self, request: Dict[str, Any]) -> Optional[_JobEntry]:
+        tenant = request.get("tenant")
+        job_id = request.get("job_id")
+        with self._jobs_lock:
+            return self._jobs.get((tenant, job_id))
+
+    # -- poll / fetch --------------------------------------------------------
+
+    def _op_poll(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        entry = self._lookup(request)
+        if entry is None:
+            return error_response(
+                ERR_UNKNOWN_JOB,
+                f"no job {request.get('job_id')!r} for this tenant",
+            )
+        view = entry.snapshot()
+        assert entry.job is not None
+        position = self.scheduler.queue_position(entry.job)
+        if position is not None:
+            view["queue_position"] = position
+        view["ok"] = True
+        return view
+
+    def _op_fetch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        entry = self._lookup(request)
+        if entry is None:
+            return error_response(
+                ERR_UNKNOWN_JOB,
+                f"no job {request.get('job_id')!r} for this tenant",
+            )
+        assert entry.job is not None
+        timeout = request.get("timeout", 60.0)
+        entry.job.wait(timeout=timeout)
+        if entry.job.state not in TERMINAL_STATES:
+            view = entry.snapshot()
+            view["ok"] = True
+            return view
+        if entry.job.state == ERROR:
+            return error_response(
+                ERR_EXECUTION, str(entry.job.error), retryable=False
+            )
+        payload = entry.payload
+        if payload is None:
+            payload = entry.job.result
+        return {
+            "ok": True,
+            "job_id": entry.job_id,
+            "state": DONE,
+            "cached": entry.cached,
+            "payload": encode_bytes(payload),
+        }
+
+    # -- explain / catalog / stats -------------------------------------------
+
+    def _op_explain(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        state = self._tenant_of(request)
+        ops = request.get("query")
+        if not isinstance(ops, list) or not ops:
+            return error_response(
+                ERR_BAD_REQUEST, "explain needs a non-empty 'query' op list"
+            )
+        with state.lock:
+            dataset = apply_ops(state.session, ops)
+            text = state.session.explain(dataset)
+        return {"ok": True, "explain": text}
+
+    def _op_catalog(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        state = self._tenant_of(request)
+        action = request.get("action", "list")
+        catalog = state.catalog
+        if action == "list":
+            return {
+                "ok": True,
+                "generation": catalog.generation,
+                "indexes": [e.to_dict() for e in catalog.sorted_entries()],
+                "datasets": [
+                    e.to_dict() for e in catalog.sorted_datasets()
+                ],
+            }
+        if action == "build-indexes":
+            ops = request.get("query")
+            if not isinstance(ops, list) or not ops:
+                return error_response(
+                    ERR_BAD_REQUEST,
+                    "build-indexes needs a non-empty 'query' op list",
+                )
+            allowed = request.get("allowed_kinds")
+
+            def run_build() -> bytes:
+                with state.lock:
+                    dataset = apply_ops(state.session, ops)
+                    built = state.session.build_indexes(
+                        dataset, allowed_kinds=allowed
+                    )
+                return serialize_rows(
+                    [entry.to_dict() for entry in built]
+                )
+
+            job = self.scheduler.submit(
+                state.tenant, run_build, label="build-indexes"
+            )
+            self._register(_JobEntry(state.tenant, "build-indexes", job=job))
+            return {"ok": True, "job_id": job.job_id, "state": job.state,
+                    "cached": False}
+        if action == "drop-index":
+            index_id = request.get("index_id")
+            catalog.remove(index_id)
+            return {"ok": True, "generation": catalog.generation}
+        return error_response(
+            ERR_BAD_REQUEST, f"unknown catalog action {action!r}"
+        )
+
+    def _op_stats(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        stats: Dict[str, Any] = {
+            "ok": True,
+            "scheduler": self.scheduler.stats(),
+            "tenants": self.tenants.names(),
+            "result_cache": (
+                self.results.stats() if self.results is not None else None
+            ),
+        }
+        try:
+            stats["engine"] = self._engine.stats()
+        except Exception:  # noqa: BLE001 -- stats are best-effort
+            pass
+        return stats

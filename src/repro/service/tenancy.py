@@ -1,0 +1,140 @@
+"""Per-tenant namespaces under one server data root.
+
+Each tenant of the query service gets its own slice of the server's data
+root::
+
+    <root>/tenants/<tenant>/catalog/   catalog.json + index files
+    <root>/tenants/<tenant>/data/      outputs written via the service
+    <root>/tenants/<tenant>/scratch/   session workdir (stage files)
+
+Tenants share the process-wide :class:`~repro.engine.service.
+ExecutionEngine` -- one worker pool, one analyzer/planner cache -- but
+optimizer state (catalogs, indexes) and written outputs are namespaced,
+so one tenant registering or evicting indexes never perturbs another's
+plans.  Catalog concurrency machinery (file locks, atomic publishes)
+applies per tenant unchanged.
+
+Tenancy here is a *namespacing and fairness* boundary, not a security
+boundary: tenants may read any path the server process can (shared
+datasets are a feature), and callables in ``map()`` ops run in the
+server process.  Write targets, however, are confined to the tenant's
+own data directory -- relative paths resolved under it, escapes
+rejected -- so tenants cannot clobber each other's outputs.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.api.session import Session
+from repro.core.optimizer.catalog import Catalog
+from repro.exceptions import JobConfigError
+
+#: Tenant names become path components; keep them boring.
+_TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+def validate_tenant(tenant: Any) -> str:
+    """A tenant name safe to use as a path component, or raise."""
+    if not isinstance(tenant, str) or not _TENANT_RE.match(tenant):
+        raise JobConfigError(
+            f"invalid tenant name {tenant!r}: use 1-64 characters from "
+            "[A-Za-z0-9._-], starting with a letter or digit"
+        )
+    if ".." in tenant:
+        raise JobConfigError(f"invalid tenant name {tenant!r}")
+    return tenant
+
+
+class TenantState:
+    """One tenant's session and directories."""
+
+    def __init__(self, tenant: str, root: str,
+                 session_kwargs: Dict[str, Any]):
+        self.tenant = tenant
+        self.catalog_dir = Catalog.tenant_catalog_dir(root, tenant)
+        base = os.path.dirname(self.catalog_dir)
+        self.data_dir = os.path.join(base, "data")
+        self.workdir = os.path.join(base, "scratch")
+        for d in (self.catalog_dir, self.data_dir, self.workdir):
+            os.makedirs(d, exist_ok=True)
+        self.session = Session(
+            catalog_dir=self.catalog_dir,
+            workdir=self.workdir,
+            **session_kwargs,
+        )
+        #: serializes query replays within the tenant: one Session's
+        #: scratch-path counters are not safe for concurrent lowering.
+        self.lock = threading.Lock()
+
+    @property
+    def catalog(self) -> Catalog:
+        return self.session.system.catalog
+
+    def resolve_write_path(self, path: str) -> str:
+        """Confine a client-supplied write target to the tenant data dir.
+
+        Relative paths land under ``data/``; absolute paths and ``..``
+        escapes are rejected -- a tenant's writes must not be able to
+        clobber another tenant's files (or the server's own state).
+        """
+        if os.path.isabs(path):
+            raise JobConfigError(
+                f"write path {path!r} must be relative; the service "
+                "stores outputs under the tenant data directory"
+            )
+        resolved = os.path.normpath(os.path.join(self.data_dir, path))
+        if not (resolved + os.sep).startswith(
+            os.path.normpath(self.data_dir) + os.sep
+        ):
+            raise JobConfigError(
+                f"write path {path!r} escapes the tenant data directory"
+            )
+        os.makedirs(os.path.dirname(resolved), exist_ok=True)
+        return resolved
+
+    def close(self) -> None:
+        self.session.close()
+
+
+class TenantRegistry:
+    """Lazily-created :class:`TenantState` per tenant name."""
+
+    def __init__(self, root: str, **session_kwargs: Any):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self._session_kwargs = session_kwargs
+        self._tenants: Dict[str, TenantState] = {}
+        self._lock = threading.Lock()
+
+    def get(self, tenant: str) -> TenantState:
+        tenant = validate_tenant(tenant)
+        with self._lock:
+            state = self._tenants.get(tenant)
+            if state is None:
+                state = TenantState(tenant, self.root, self._session_kwargs)
+                self._tenants[tenant] = state
+            return state
+
+    def peek(self, tenant: str) -> Optional[TenantState]:
+        with self._lock:
+            return self._tenants.get(tenant)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._tenants)
+
+    def __iter__(self) -> Iterator[TenantState]:
+        with self._lock:
+            states = list(self._tenants.values())
+        return iter(states)
+
+    def close(self) -> None:
+        with self._lock:
+            states = list(self._tenants.values())
+            self._tenants.clear()
+        for state in states:
+            state.close()

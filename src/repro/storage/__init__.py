@@ -24,6 +24,10 @@ from repro.storage.recordfile import (
     write_records,
 )
 from repro.storage.serialization import (
+    DOUBLE_SCHEMA,
+    INT_SCHEMA,
+    LONG_SCHEMA,
+    STRING_SCHEMA,
     Field,
     FieldDecodeCounter,
     FieldType,
@@ -31,10 +35,6 @@ from repro.storage.serialization import (
     OpaqueSchema,
     Record,
     Schema,
-    INT_SCHEMA,
-    LONG_SCHEMA,
-    STRING_SCHEMA,
-    DOUBLE_SCHEMA,
     primitive_schema,
 )
 

@@ -23,7 +23,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.exceptions import CorruptFileError, SchemaError, SerializationError
 from repro.storage import varint
-from repro.storage.recordfile import BlockInfo, DEFAULT_BLOCK_SIZE
+from repro.storage.recordfile import DEFAULT_BLOCK_SIZE, BlockInfo
 from repro.storage.serialization import (
     Field,
     FieldType,

@@ -21,7 +21,7 @@ from repro.mapreduce.api import Context, Mapper, Reducer
 from repro.mapreduce.formats import RecordFileInput
 from repro.mapreduce.job import JobConf
 from repro.storage.recordfile import RecordFileWriter
-from repro.storage.serialization import Field, FieldType, LONG_SCHEMA, Schema
+from repro.storage.serialization import LONG_SCHEMA, Field, FieldType, Schema
 
 #: One opaque payload per record: byte-level work, no task semantics.
 GRIDMIX_RECORD = Schema("GridmixRecord", [Field("payload", FieldType.BYTES)])

@@ -25,10 +25,9 @@ from __future__ import annotations
 from typing import Any, Iterable, List, Tuple
 
 from repro.mapreduce.api import Context, Mapper, Reducer
-from repro.mapreduce.formats import RecordFileInput
+from repro.mapreduce.formats import InMemoryInput, RecordFileInput
 from repro.mapreduce.job import JobConf, JobResult
 from repro.mapreduce.runtime import LocalJobRunner
-from repro.mapreduce.formats import InMemoryInput
 from repro.workloads.datagen import (
     VISIT_DATE_HI,
     VISIT_DATE_LO,

@@ -6,10 +6,10 @@ import pytest
 
 from repro.storage.recordfile import RecordFileWriter
 from repro.storage.serialization import (
+    STRING_SCHEMA,
     Field,
     FieldType,
     Schema,
-    STRING_SCHEMA,
 )
 
 #: The paper's Section 2 WebPage schema, used throughout analyzer tests.

@@ -7,10 +7,10 @@ import threading
 import pytest
 
 from repro.core.optimizer.catalog import (
-    Catalog,
-    IndexEntry,
     KIND_PROJECTION,
     KIND_SELECTION,
+    Catalog,
+    IndexEntry,
 )
 from repro.exceptions import CatalogError
 

@@ -12,9 +12,9 @@ from repro.storage.columnfile import (
 )
 from repro.storage.recordfile import RecordFileReader, RecordFileWriter
 from repro.storage.serialization import (
+    LONG_SCHEMA,
     Field,
     FieldType,
-    LONG_SCHEMA,
     OpaqueSchema,
     Record,
     Schema,

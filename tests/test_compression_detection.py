@@ -5,9 +5,9 @@ from repro.mapreduce.api import Mapper, Reducer
 from repro.mapreduce.formats import InMemoryInput
 from repro.mapreduce.job import JobConf
 from repro.storage.serialization import (
+    STRING_SCHEMA,
     OpaqueSchema,
     Record,
-    STRING_SCHEMA,
 )
 from repro.workloads.schemas import DOCUMENTS, USERVISITS
 from tests.conftest import WEBPAGE

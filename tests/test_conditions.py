@@ -8,9 +8,9 @@ from hypothesis import given, strategies as st
 
 from repro.core.analyzer import lower_function
 from repro.core.analyzer.conditions import (
+    ROLE_VALUE,
     Conjunct,
     MemberEnv,
-    ROLE_VALUE,
     SBool,
     SCompare,
     SConst,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.mapreduce.cost import MB, CostModel, PAPER_CLUSTER
+from repro.mapreduce.cost import MB, PAPER_CLUSTER, CostModel
 from repro.mapreduce.metrics import JobMetrics
 
 

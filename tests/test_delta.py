@@ -9,9 +9,9 @@ from repro.exceptions import SchemaError, SerializationError
 from repro.storage.delta import DeltaFileReader, DeltaFileWriter
 from repro.storage.recordfile import RecordFileWriter
 from repro.storage.serialization import (
+    LONG_SCHEMA,
     Field,
     FieldType,
-    LONG_SCHEMA,
     Schema,
 )
 

@@ -13,9 +13,9 @@ from repro.storage.dictionary import (
 )
 from repro.storage.recordfile import RecordFileWriter
 from repro.storage.serialization import (
+    LONG_SCHEMA,
     Field,
     FieldType,
-    LONG_SCHEMA,
     Schema,
 )
 

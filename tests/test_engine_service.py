@@ -461,3 +461,57 @@ class TestEngineService:
     def test_isolated_engine_opt_in(self, tmp_path, engine):
         with Session(workdir=str(tmp_path / "s1"), engine=engine) as session:
             assert session.engine is engine
+
+
+class TestShutdownReentrancy:
+    """shutdown() is called from overlapping paths (server drain, atexit,
+    benchmark teardown) and must be idempotent, re-entrant, and leave the
+    engine usable."""
+
+    def test_double_shutdown_is_a_noop(self, engine):
+        engine.shutdown()
+        engine.shutdown()
+
+    def test_engine_usable_after_shutdown(self, tmp_path, engine):
+        path = write_webpages(tmp_path / "w.rf", 40)
+        system = Manimal(str(tmp_path / "cat"), engine=engine)
+        before = system.submit(_scan_job(path)).result.sorted_outputs()
+        engine.shutdown()
+        # Pools rebuild lazily: the next submission just works.
+        after = system.submit(_scan_job(path, name="scan2")) \
+            .result.sorted_outputs()
+        assert after == before
+
+    def test_concurrent_shutdowns_never_deadlock(self, engine):
+        errors = []
+
+        def call():
+            try:
+                engine.shutdown()
+            except BaseException as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=call) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10.0)
+        assert not errors
+        assert not any(t.is_alive() for t in threads)
+
+    def test_nested_shutdown_from_inside_shutdown(self, engine,
+                                                  monkeypatch):
+        """A shutdown reached recursively (the atexit-during-drain shape)
+        returns immediately instead of deadlocking."""
+        inner_calls = []
+        original = engine.pool.shutdown
+
+        def reentrant_pool_shutdown(*args, **kwargs):
+            inner_calls.append(True)
+            engine.shutdown()  # re-enter on the same thread
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(engine.pool, "shutdown",
+                            reentrant_pool_shutdown)
+        engine.shutdown()
+        assert len(inner_calls) == 1  # the nested call short-circuited

@@ -30,6 +30,7 @@ def _load(name):
     "join_pipeline",
     "fluent_api",
     "partitioned_scan",
+    "query_service",
 ])
 def test_example_runs(name, capsys):
     module = _load(name)

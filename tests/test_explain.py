@@ -1,7 +1,7 @@
 """Tests for the explain_job reporting module."""
 
-from repro.explain import explain_job
 from repro.core.manimal import Manimal
+from repro.explain import explain_job
 from repro.mapreduce import JobConf, RecordFileInput
 from repro.mapreduce.api import Mapper, Reducer
 from tests.conftest import write_webpages

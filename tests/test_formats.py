@@ -17,7 +17,7 @@ from repro.storage.btree import BTreeBuilder
 from repro.storage.delta import DeltaFileWriter
 from repro.storage.dictionary import DictionaryFileWriter
 from repro.storage.orderkeys import encode_key
-from repro.storage.serialization import FieldType, STRING_SCHEMA
+from repro.storage.serialization import STRING_SCHEMA, FieldType
 from tests.conftest import WEBPAGE, write_webpages
 
 

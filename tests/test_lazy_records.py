@@ -25,10 +25,10 @@ from repro.mapreduce import (
 from repro.mapreduce.keyspace import estimate_size, sort_key, stable_hash
 from repro.storage.recordfile import RecordFileReader, RecordFileWriter
 from repro.storage.serialization import (
+    LONG_SCHEMA,
     Field,
     FieldDecodeCounter,
     FieldType,
-    LONG_SCHEMA,
     LazyRecord,
     OpaqueSchema,
     Record,

@@ -15,10 +15,10 @@ from repro.mapreduce import (
     ParallelJobRunner,
     resolve_runner,
     run_job,
+    shuffle,
 )
 from repro.mapreduce.counters import FRAMEWORK_GROUP
 from repro.mapreduce.metrics import JobMetrics
-from repro.mapreduce import shuffle
 from repro.storage.recordfile import RecordFileWriter
 from repro.storage.serialization import STRING_SCHEMA
 from tests.conftest import WEBPAGE, write_webpages

@@ -27,13 +27,13 @@ from repro.core.analyzer.descriptors import (
 from repro.core.manimal import Manimal
 from repro.core.optimizer.costbased import CostBasedOptimizer
 from repro.core.optimizer.planner import PARTITION_PRUNING, Optimizer
+from repro.core.optimizer.predicates import Interval
 from repro.core.optimizer.pruning import (
     PruneResult,
     SelectionCompiler,
     interval_intersects_zone,
     prune_partitions,
 )
-from repro.core.optimizer.predicates import Interval
 from repro.engine.cache import file_fingerprint
 from repro.mapreduce.api import FunctionMapper
 from repro.mapreduce.formats import PartitionedInput
@@ -44,9 +44,9 @@ from repro.storage.partitioned import (
 )
 from repro.storage.recordfile import RecordFileReader, write_records
 from repro.storage.serialization import (
+    LONG_SCHEMA,
     Field,
     FieldType,
-    LONG_SCHEMA,
     Schema,
 )
 

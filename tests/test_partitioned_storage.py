@@ -9,8 +9,8 @@ from repro.exceptions import CorruptFileError, SerializationError
 from repro.storage.partitioned import (
     MODE_HASH,
     MODE_RANGE,
-    PartitionStats,
     SIDECAR_NAME,
+    PartitionStats,
     ZoneMap,
     equi_depth_bounds,
     is_partitioned_dataset,
@@ -21,9 +21,9 @@ from repro.storage.partitioned import (
 )
 from repro.storage.recordfile import RecordFileReader
 from repro.storage.serialization import (
+    LONG_SCHEMA,
     Field,
     FieldType,
-    LONG_SCHEMA,
     OpaqueSchema,
     Record,
     Schema,

@@ -7,8 +7,8 @@ from repro.core.optimizer import catalog as cat
 from repro.core.optimizer.planner import RANKING, Optimizer
 from repro.mapreduce import JobConf, RecordFileInput
 from repro.mapreduce.api import Mapper, Reducer
-from repro.workloads.single_opt import make_duration_sum_job
 from repro.workloads.datagen import generate_uservisits
+from repro.workloads.single_opt import make_duration_sum_job
 from tests.conftest import write_webpages
 
 

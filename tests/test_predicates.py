@@ -4,8 +4,8 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.analyzer.conditions import (
-    Conjunct,
     ROLE_VALUE,
+    Conjunct,
     SCompare,
     SConst,
     SelectionFormula,

@@ -3,9 +3,9 @@
 from repro.core.analyzer import ManimalAnalyzer
 from repro.mapreduce.api import Mapper
 from repro.storage.serialization import (
+    STRING_SCHEMA,
     OpaqueSchema,
     Record,
-    STRING_SCHEMA,
 )
 from repro.workloads.schemas import USERVISITS
 from tests.conftest import WEBPAGE

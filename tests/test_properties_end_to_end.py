@@ -19,7 +19,7 @@ from repro.core.optimizer.predicates import compile_selection
 from repro.mapreduce import JobConf, RecordFileInput, run_job
 from repro.mapreduce.api import Context, Mapper, Reducer
 from repro.storage.orderkeys import encode_key
-from repro.storage.serialization import FieldType, STRING_SCHEMA
+from repro.storage.serialization import STRING_SCHEMA, FieldType
 from tests.conftest import WEBPAGE, write_webpages
 
 ANALYZER = ManimalAnalyzer()

@@ -10,9 +10,9 @@ from repro.storage.recordfile import (
     write_records,
 )
 from repro.storage.serialization import (
+    LONG_SCHEMA,
     Field,
     FieldType,
-    LONG_SCHEMA,
     Schema,
 )
 

@@ -18,7 +18,6 @@ from repro.storage.serialization import (
     INT_SCHEMA,
     STRING_SCHEMA,
 )
-
 from tests.conftest import WEBPAGE
 
 

@@ -1,6 +1,7 @@
 """Tests for workload generators and the four Pavlo benchmark programs."""
 
 import os
+import random
 
 import pytest
 
@@ -23,7 +24,6 @@ from repro.workloads.pavlo import (
     benchmark3 as b3,
     benchmark4 as b4,
 )
-import random
 
 
 class TestGenerators:

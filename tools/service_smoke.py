@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""CI smoke test for the query service, end to end over a real process.
+
+Starts ``python -m repro.service`` as a subprocess (the exact deployment
+shape), waits for its ``READY host port`` line, then drives it with
+concurrent clients across two tenants and asserts the service's two
+load-bearing invariants:
+
+* every served payload is byte-identical to an in-process run of the
+  same fluent chain;
+* an identical repeat submission is served from the result cache.
+
+Exits non-zero (and prints the failure) if either invariant breaks, the
+server fails to start, or it fails to drain cleanly on SIGTERM.
+
+Usage::
+
+    PYTHONPATH=src python tools/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+sys.path.insert(0, SRC)
+
+from repro.api import Session, col                     # noqa: E402
+from repro.service import connect, serialize_rows      # noqa: E402
+from repro.workloads.datagen import generate_webpages  # noqa: E402
+
+CLIENTS = 4
+REPEATS = 3
+
+
+def start_server(data_root: str) -> "tuple[subprocess.Popen, str, int]":
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.service",
+         "--data-root", data_root, "--port", "0", "--parallelism", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env, cwd=REPO_ROOT,
+    )
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise RuntimeError(
+                f"server exited early (rc={proc.poll()})"
+            )
+        print(f"[server] {line.rstrip()}")
+        if line.startswith("READY"):
+            _, host, port = line.split()
+            return proc, host, int(port)
+    raise RuntimeError("server did not print READY within 30s")
+
+
+def main() -> int:
+    workdir = tempfile.mkdtemp(prefix="service-smoke-")
+    src = os.path.join(workdir, "webpages.rf")
+    generate_webpages(src, 2_000, rank_max=1000)
+
+    proc, host, port = start_server(os.path.join(workdir, "root"))
+    failures: list = []
+    cache_hits = [0]
+    lock = threading.Lock()
+
+    # The expected bytes, computed in-process with a private catalog.
+    with Session(catalog_dir=os.path.join(workdir, "cat")) as local:
+        expected = serialize_rows(
+            local.read(src).filter(col("rank") > 950)
+            .select("url", "rank").collect()
+        )
+
+    def client(tenant: str) -> None:
+        try:
+            with connect(host, port, tenant=tenant) as remote:
+                ds = (remote.read(src).filter(col("rank") > 950)
+                      .select("url", "rank"))
+                for _ in range(REPEATS):
+                    payload, cached = ds.collect_bytes()
+                    if payload != expected:
+                        raise AssertionError(
+                            f"{tenant}: served payload differs from "
+                            "in-process bytes"
+                        )
+                    if cached:
+                        with lock:
+                            cache_hits[0] += 1
+        except BaseException as exc:
+            failures.append((tenant, exc))
+
+    try:
+        threads = [
+            threading.Thread(target=client,
+                             args=(f"tenant{i % 2}",))
+            for i in range(CLIENTS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(120.0)
+        if failures:
+            tenant, exc = failures[0]
+            print(f"FAIL: client {tenant}: {exc!r}", file=sys.stderr)
+            return 1
+        total = CLIENTS * REPEATS
+        # 2 tenants x 1 distinct query: all but the first run per tenant
+        # (and any concurrent first-misses) must be cache hits.
+        if cache_hits[0] < total - CLIENTS:
+            print(
+                f"FAIL: only {cache_hits[0]}/{total} submissions were "
+                "cache hits; the result cache is not serving repeats",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"OK: {total} submissions, {cache_hits[0]} cache hits, "
+              "all byte-identical to in-process execution")
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            out, _ = proc.communicate(timeout=60.0)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            print("FAIL: server did not drain within 60s", file=sys.stderr)
+            return 1
+        for line in out.splitlines():
+            print(f"[server] {line}")
+    if proc.returncode != 0:
+        print(f"FAIL: server exited rc={proc.returncode}", file=sys.stderr)
+        return 1
+    print("OK: server drained and exited cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
