@@ -44,6 +44,7 @@ from typing import (
 )
 
 from repro.api.expressions import Expr, selection_formula
+from repro.batch.spec import PREAGG_OPS, BatchStageSpec
 from repro.core.analyzer.descriptors import (
     DeltaCompressionDescriptor,
     InputAnalysis,
@@ -385,6 +386,44 @@ def _codegen_segment(seg: _Segment, fn_name: str,
     return "\n".join(lines) + "\n", env
 
 
+def _segment_batch_parts(
+    seg: _Segment,
+) -> Optional[Tuple[List[Expr], Optional[List[str]], Optional[Schema]]]:
+    """(predicates, project_columns, projected schema) when the segment
+    is fully analyzer-described, else ``None``.
+
+    This is the vectorization eligibility rule: every op must be a column
+    -expression filter or a select, over transparent key and value
+    schemas.  A ``map()``, a callable predicate, an opaque schema, or a
+    predicate column the declared schema lacks all disqualify the segment
+    -- the stage then runs record-at-a-time, unconditionally.
+    """
+    if seg.seen_map:
+        return None
+    schema = seg.in_value_schema
+    if schema is None or not schema.transparent:
+        return None
+    if seg.in_key_schema is None or not seg.in_key_schema.transparent:
+        return None
+    base_columns = set(schema.field_names())
+    predicates: List[Expr] = []
+    has_select = False
+    for op in seg.ops:
+        if isinstance(op, FilterNode):
+            if not isinstance(op.predicate, Expr):
+                return None
+            if not op.predicate.columns() <= base_columns:
+                return None
+            predicates.append(op.predicate)
+        elif isinstance(op, SelectNode):
+            has_select = True
+        else:
+            return None
+    if has_select:
+        return predicates, list(seg.visible or []), seg.out_value_schema
+    return predicates, None, None
+
+
 def _schema_before(seg: _Segment, op: LogicalNode) -> Optional[Schema]:
     """The value schema in effect just before ``op`` within the segment.
 
@@ -514,10 +553,15 @@ class _Lowering:
     """One lowering pass over a logical tree."""
 
     def __init__(self, name: str, scratch: Callable[[str], str],
-                 num_reducers: int = 5):
+                 num_reducers: int = 5, vectorize: bool = True):
         self.name = name
         self.scratch = scratch
         self.num_reducers = num_reducers
+        #: attach :class:`~repro.batch.spec.BatchStageSpec`s to stages
+        #: whose map bodies are fully analyzer-described, letting the
+        #: runtime serve them vectorized.  ``False`` pins every stage to
+        #: the record path (the differential test harness's reference).
+        self.vectorize = vectorize
         self._stage_seq = itertools.count()
 
     # -- tree walk -----------------------------------------------------------
@@ -617,11 +661,27 @@ class _Lowering:
             job_name=stage_name,
             inputs=[_input_hints(seg, 0, None, fn_name, None)],
         )
+        descriptions = list(seg.descriptions) or ["scan"]
+        # A bare pass-through scan gains nothing from vectorization (every
+        # field decodes either way); only stages that actually filter or
+        # project get a spec.
+        if self.vectorize and seg.ops:
+            parts = _segment_batch_parts(seg)
+            if parts is not None:
+                predicates, project_columns, out_schema = parts
+                spec = BatchStageSpec(
+                    kind="map",
+                    predicates=predicates,
+                    project_columns=project_columns,
+                    out_value_schema=out_schema,
+                )
+                conf.batch_specs[None] = spec
+                descriptions.append(f"vectorized [{spec.describe()}]")
         return StagePlan(
             conf=conf,
             hints=hints,
             kind="map",
-            descriptions=seg.descriptions or ["scan"],
+            descriptions=descriptions,
             out_key_schema=seg.out_key_schema,
             out_value_schema=seg.out_value_schema,
         )
@@ -682,12 +742,41 @@ class _Lowering:
         agg_desc = ", ".join(
             f"{name}={spec.describe()}" for name, spec in node.aggs
         )
+        descriptions = seg.descriptions + [
+            f"group_by {node.group_column} agg {agg_desc}"
+        ]
+        if self.vectorize:
+            parts = _segment_batch_parts(seg)
+            if (
+                parts is not None
+                and record_schema is not None
+                and record_schema.transparent
+            ):
+                predicates, _project, _schema = parts
+                # Pre-aggregation is only provably byte-identical for
+                # integer sum/min/max with no user combiner in play (the
+                # reducer sees partials instead of rows otherwise).
+                preagg = all(
+                    spec.op in PREAGG_OPS
+                    and spec.column is not None
+                    and record_schema.field(spec.column).ftype
+                    in (FieldType.INT, FieldType.LONG)
+                    for spec in specs
+                )
+                bspec = BatchStageSpec(
+                    kind="aggregate",
+                    predicates=predicates,
+                    group_column=node.group_column,
+                    aggs=[(spec.op, spec.column) for spec in specs],
+                    preagg=preagg,
+                )
+                conf.batch_specs[None] = bspec
+                descriptions.append(f"vectorized [{bspec.describe()}]")
         return StagePlan(
             conf=conf,
             hints=hints,
             kind="aggregate",
-            descriptions=seg.descriptions
-            + [f"group_by {node.group_column} agg {agg_desc}"],
+            descriptions=descriptions,
             out_key_schema=out_key_schema,
             out_value_schema=out_value_schema,
         )
@@ -844,6 +933,27 @@ class _Lowering:
             num_reducers=self.num_reducers,
         )
         self._materialize(conf, stage_name, out_key_schema, merged_schema)
+        side_descriptions: List[str] = []
+        if self.vectorize:
+            for tag_key, seg, tagchar in (
+                ("left", lseg, "L"), ("right", rseg, "R")
+            ):
+                parts = _segment_batch_parts(seg)
+                if parts is None:
+                    continue
+                predicates, project_columns, out_schema = parts
+                bspec = BatchStageSpec(
+                    kind="join-side",
+                    predicates=predicates,
+                    project_columns=project_columns,
+                    out_value_schema=out_schema,
+                    join_on=node.on,
+                    join_tag=tagchar,
+                )
+                conf.batch_specs[tag_key] = bspec
+                side_descriptions.append(
+                    f"{tag_key}: vectorized [{bspec.describe()}]"
+                )
         lcols = set(lseg.visible or lschema.field_names()) | {node.on}
         rcols = set(rseg.visible or rschema.field_names()) | {node.on}
         hints = JobAnalysis(
@@ -862,6 +972,7 @@ class _Lowering:
             descriptions=(
                 [f"left: {d}" for d in lseg.descriptions]
                 + [f"right: {d}" for d in rseg.descriptions]
+                + side_descriptions
                 + [f"inner join on {node.on}"]
             ),
             out_key_schema=out_key_schema,
@@ -921,6 +1032,9 @@ def _camel(name: str) -> str:
 
 def lower_plan(node: LogicalNode, name: str,
                scratch: Callable[[str], str],
-               num_reducers: int = 5) -> LoweredPlan:
+               num_reducers: int = 5,
+               vectorize: bool = True) -> LoweredPlan:
     """Compile a logical tree into its stage chain."""
-    return _Lowering(name, scratch, num_reducers=num_reducers).lower(node)
+    return _Lowering(
+        name, scratch, num_reducers=num_reducers, vectorize=vectorize
+    ).lower(node)

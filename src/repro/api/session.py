@@ -76,6 +76,10 @@ class Session:
         CPU count.  Individual actions may override per call
         (``ds.collect(parallelism=8)``).  Results are byte-identical
         either way.
+    :param vectorize: serve analyzer-described stages through the
+        columnar batch path (:mod:`repro.batch`) where eligible; output
+        bytes are identical either way, so ``False`` exists mainly as a
+        differential-testing reference and an escape hatch.
     :param engine: the :class:`~repro.engine.service.ExecutionEngine`
         this session's system runs on.  Defaults to the process-wide
         shared engine, so sessions reuse one persistent worker pool and
@@ -93,6 +97,7 @@ class Session:
         cost_based: bool = False,
         num_reducers: int = 5,
         parallelism: Optional[int] = None,
+        vectorize: bool = True,
         **manimal_kwargs: Any,
     ):
         if workdir is None:
@@ -115,6 +120,11 @@ class Session:
             **manimal_kwargs,
         )
         self.num_reducers = num_reducers
+        # Vectorized batch execution for analyzer-described stages (see
+        # repro.batch).  Output bytes are identical either way; False
+        # forces the record-at-a-time path, e.g. as a differential-test
+        # reference.
+        self.vectorize = vectorize
         self._scratch_dir = os.path.join(workdir, "scratch")
         os.makedirs(self._scratch_dir, exist_ok=True)
         self._query_seq = itertools.count()
@@ -157,7 +167,8 @@ class Session:
         if name is None:
             name = f"fluent-q{next(self._query_seq)}"
         return lower_plan(dataset._node, name, self._scratch,
-                          num_reducers=self.num_reducers)
+                          num_reducers=self.num_reducers,
+                          vectorize=self.vectorize)
 
     def _pipeline_for(self, plan: LoweredPlan) -> ManimalPipeline:
         return ManimalPipeline(

@@ -1,0 +1,208 @@
+"""The vectorized map-task executor.
+
+:func:`run_batch_map_task` is the batch path's single entry point, called
+from :func:`repro.mapreduce.runtime.execute_map_task` when the lowered
+stage carries a :class:`~repro.batch.spec.BatchStageSpec` for the split's
+input tag.  Because that chokepoint serves the sequential runner, the
+parallel runner's workers and the DAG stage scheduler alike, every
+scheduler consumes batches through this one implementation.
+
+The function returns ``None`` -- *do it the record way* -- whenever the
+concrete split does not match the spec's promises: a planner-substituted
+input format the batch scan cannot read (B+Tree selection indexes, delta
+and dictionary files, in-memory pairs), an opaque key or value schema, or
+a needed column missing from the (possibly projection-optimized) file.
+When it does run, rows re-materialize as ordinary ``Record``/primitive
+pairs at the emit boundary and flow through the same
+``_finish_map_task`` sizing/combining/filtering/partitioning tail as the
+record path, so the task's output -- and therefore the job's output --
+is byte-identical by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.batch.columns import build_scan_plan, iter_column_batches
+from repro.batch.kernels import compile_predicates
+from repro.batch.spec import BatchStageSpec
+from repro.exceptions import JobExecutionError
+from repro.mapreduce.formats import (
+    PartitionedInput,
+    ProjectedFileInput,
+    RecordFileInput,
+)
+from repro.mapreduce.job import JobConf
+from repro.mapreduce.runtime import MapTaskResult, _finish_map_task
+from repro.storage.recordfile import RecordFileReader
+from repro.storage.serialization import Record
+
+#: Map-side partial accumulators for byte-identity-safe pre-aggregation
+#: (see :data:`~repro.batch.spec.PREAGG_OPS`).
+_PREAGG_FN = {
+    "sum": lambda acc, value: acc + value,
+    "min": min,
+    "max": max,
+}
+
+
+def _split_location(split: Any) -> Optional[Tuple[str, Any]]:
+    """(path, blocks) when the split reads plain record-file blocks.
+
+    Exact type checks on purpose: only formats whose splits are record
+    -file block lists are batch-scannable.  Anything else -- index scans,
+    delta/dictionary decoding, in-memory pairs, or an unknown subclass
+    with different split payloads -- falls back to the record path.
+    """
+    stype = type(split.source)
+    if stype is RecordFileInput or stype is ProjectedFileInput:
+        return split.source.path, split.payload
+    if stype is PartitionedInput:
+        path, blocks = split.payload
+        return path, blocks
+    return None
+
+
+def run_batch_map_task(
+    conf: JobConf, spec: BatchStageSpec, tag: Optional[str], split: Any
+) -> Optional[MapTaskResult]:
+    """Serve one map task vectorized, or return ``None`` to fall back."""
+    location = _split_location(split)
+    if location is None:
+        return None
+    path, blocks = location
+    reader = RecordFileReader(path)
+    plan = build_scan_plan(reader.key_schema, reader.value_schema, spec)
+    if plan is None:
+        reader.close()
+        return None
+    try:
+        kernel = compile_predicates(spec.predicates)
+    except TypeError:
+        reader.close()
+        return None
+
+    out = MapTaskResult(partitions=[[] for _ in range(conf.num_reducers)])
+    metrics = out.metrics
+    emitted: List[Tuple[Any, Any]] = []
+    n_rows = 0
+    logical_bytes = 0
+    try:
+        if spec.kind == "aggregate":
+            n_rows, logical_bytes = _run_aggregate(
+                conf, spec, reader, blocks, plan, kernel, emitted
+            )
+        else:
+            n_rows, logical_bytes = _run_projection(
+                spec, reader, blocks, plan, kernel, emitted
+            )
+    except Exception as exc:
+        reader.close()
+        raise JobExecutionError(
+            f"map task failed in job {conf.name!r}: {exc}"
+        ) from exc
+
+    metrics.map_input_records += n_rows
+    metrics.map_input_stored_bytes += reader.bytes_read
+    metrics.map_input_logical_bytes += logical_bytes
+    # Honest decode accounting: the batch scan materializes exactly the
+    # captured columns, once per row (the record path charges whatever
+    # its eager/lazy reader did -- compare trends, not absolutes).
+    metrics.fields_deserialized += plan.n_slots * n_rows
+    metrics.batch_map_tasks += 1
+    reader.close()
+    _finish_map_task(conf, out, emitted)
+    return out
+
+
+def _run_projection(spec, reader, blocks, plan, kernel, emitted):
+    """map / join-side stages: filter rows, emit (key, value) pairs."""
+    emit_schema = (
+        spec.out_value_schema
+        if spec.project_columns is not None
+        else reader.value_schema
+    )
+    emit_names = emit_schema.field_names()
+    join_tag = spec.join_tag
+    join_side = spec.kind == "join-side"
+    append = emitted.append
+    n_rows = 0
+    logical_bytes = 0
+    for batch in iter_column_batches(reader, blocks, plan):
+        n_rows += batch.n_rows
+        logical_bytes += batch.logical_bytes
+        if kernel is not None:
+            selected: Any = kernel.select(batch.n_rows, batch.column)
+        else:
+            selected = range(batch.n_rows)
+        keys = batch.keys
+        cols = [batch.column(name) for name in emit_names]
+        if join_side:
+            on_col = batch.column(spec.join_on)
+            for i in selected:
+                append((
+                    on_col[i],
+                    (join_tag, Record(emit_schema, [c[i] for c in cols])),
+                ))
+        else:
+            for i in selected:
+                append((keys[i], Record(emit_schema, [c[i] for c in cols])))
+    return n_rows, logical_bytes
+
+
+def _run_aggregate(conf, spec, reader, blocks, plan, kernel, emitted):
+    """aggregate stages: emit (group value, agg inputs) rows.
+
+    With ``spec.preagg`` (integer sum/min/max only -- the ops whose
+    partials provably reduce to byte-identical output) rows hash-fold
+    into one partial per group per task, in first-occurrence order, which
+    is exactly the representative-key order the reducer's stable sort
+    would have picked from the raw rows.
+    """
+    aggs = spec.aggs or []
+    single = len(aggs) == 1
+    preagg = spec.preagg and conf.combiner is None
+    groups: dict = {}
+    fns = [_PREAGG_FN[op] for op, _ in aggs] if preagg else []
+    append = emitted.append
+    n_rows = 0
+    logical_bytes = 0
+    for batch in iter_column_batches(reader, blocks, plan):
+        n_rows += batch.n_rows
+        logical_bytes += batch.logical_bytes
+        if kernel is not None:
+            selected: Any = kernel.select(batch.n_rows, batch.column)
+        else:
+            selected = range(batch.n_rows)
+        group_col = batch.column(spec.group_column)
+        agg_cols = [
+            None if column is None else batch.column(column)
+            for _, column in aggs
+        ]
+        if preagg:
+            for i in selected:
+                group = group_col[i]
+                accs = groups.get(group)
+                if accs is None:
+                    groups[group] = [c[i] for c in agg_cols]
+                else:
+                    for j, fn in enumerate(fns):
+                        accs[j] = fn(accs[j], agg_cols[j][i])
+        elif single:
+            agg_col = agg_cols[0]
+            if agg_col is None:  # count
+                for i in selected:
+                    append((group_col[i], 1))
+            else:
+                for i in selected:
+                    append((group_col[i], agg_col[i]))
+        else:
+            for i in selected:
+                append((
+                    group_col[i],
+                    tuple(1 if c is None else c[i] for c in agg_cols),
+                ))
+    if preagg:
+        for group, accs in groups.items():
+            append((group, accs[0] if single else tuple(accs)))
+    return n_rows, logical_bytes

@@ -1,0 +1,114 @@
+"""Vectorization specs: what a lowered stage's map body does, declaratively.
+
+The fluent lowering (:mod:`repro.api.plan`) already knows each stage's
+exact predicates, projected columns and aggregate list -- that knowledge
+is what lets it hand Manimal Appendix-A hints.  A :class:`BatchStageSpec`
+is the same knowledge packaged for the *executor*: when a stage's map
+body is nothing but analyzer-described selection/projection/known
+aggregates, the runtime can evaluate it batch-at-a-time over decoded
+column arrays instead of calling the synthesized mapper once per record.
+
+A spec is a promise about semantics, not a command: the batch executor
+re-checks it against the concrete input file at run time (source type,
+schema transparency, column availability) and returns control to the
+record-at-a-time path whenever anything does not hold.  Stages with
+opaque UDFs (``map()``, callable filters) or opaque schemas never get a
+spec in the first place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.api.expressions import Expr
+from repro.storage.serialization import Schema
+
+#: Aggregate ops whose map-side partials compose into the exact reducer
+#: result: integer sum/min/max are associative and order-independent, so
+#: pre-aggregated partials reduce to byte-identical output.  ``count``
+#: and ``avg`` read the *row count* in the reducer and ``DOUBLE`` sums
+#: are order-sensitive in the last float bit, so those stay per-row.
+PREAGG_OPS = ("sum", "min", "max")
+
+
+@dataclass(eq=False)
+class BatchStageSpec:
+    """One stage's map body, described for vectorized execution.
+
+    ``kind`` is ``'map'`` (emit ``(key, value)``), ``'aggregate'`` (emit
+    ``(group value, agg inputs)``) or ``'join-side'`` (emit
+    ``(join-key value, (tag, value))``).  Specs are built from the
+    *declared* scan schema at lowering time; column names are re-resolved
+    against the actual file schema when the task runs, so the spec stays
+    valid when the planner redirects the stage at a projection file.
+    """
+
+    kind: str
+    #: conjunction of pure column predicates, in user order
+    predicates: List[Expr] = field(default_factory=list)
+    #: final projected value columns (None = emit the input record as-is)
+    project_columns: Optional[List[str]] = None
+    #: schema of projected emits, as chained ``Schema.project`` derived it
+    #: in the synthesized mapper (None when ``project_columns`` is None)
+    out_value_schema: Optional[Schema] = None
+    #: aggregate stages: the GROUP BY column and ordered (op, column) list
+    group_column: Optional[str] = None
+    aggs: Optional[List[Tuple[str, Optional[str]]]] = None
+    #: whether map-side hash pre-aggregation provably preserves output
+    #: bytes for this agg list (all ops in :data:`PREAGG_OPS` over
+    #: integer columns); decided at lowering where field types are known
+    preagg: bool = False
+    #: join stages: the equality column and this side's 'L'/'R' tag
+    join_on: Optional[str] = None
+    join_tag: Optional[str] = None
+
+    def needed_columns(self) -> Optional[List[str]]:
+        """Value columns the batch executor must decode, in a stable order.
+
+        ``None`` means every column of the file's schema (pass-through
+        emit).  Predicate columns come first, then emit columns; the
+        order only affects decode-plan layout, never output bytes.
+        """
+        if self.project_columns is None and self.kind == "map":
+            return None
+        if self.kind == "join-side" and self.project_columns is None:
+            return None
+        needed: List[str] = []
+        seen = set()
+
+        def add(name: Optional[str]) -> None:
+            if name is not None and name not in seen:
+                seen.add(name)
+                needed.append(name)
+
+        for predicate in self.predicates:
+            for name in sorted(predicate.columns()):
+                add(name)
+        if self.kind == "aggregate":
+            add(self.group_column)
+            for _op, column in self.aggs or []:
+                add(column)
+        else:
+            if self.kind == "join-side":
+                add(self.join_on)
+            for name in self.project_columns or []:
+                add(name)
+        return needed
+
+    def describe(self) -> str:
+        parts = [self.kind]
+        if self.predicates:
+            parts.append(f"{len(self.predicates)} predicate(s)")
+        if self.project_columns is not None:
+            parts.append(f"project [{', '.join(self.project_columns)}]")
+        if self.kind == "aggregate":
+            aggs = ", ".join(
+                f"{op}({column or '*'})" for op, column in self.aggs or []
+            )
+            parts.append(f"group_by {self.group_column} agg {aggs}")
+            if self.preagg:
+                parts.append("hash pre-agg")
+        if self.kind == "join-side":
+            parts.append(f"on {self.join_on} tag {self.join_tag}")
+        return ", ".join(parts)

@@ -64,6 +64,14 @@ class JobConf:
     #: are the "user's parameters" in Fig. 1, and the analyzer treats them
     #: as constants for a given submission
     params: Dict[str, Any] = field(default_factory=dict)
+    #: vectorized-execution specs per input tag (``None`` for the single
+    #: untagged input), set by the fluent lowering when a stage's map body
+    #: is fully analyzer-described (pure selection/projection/known
+    #: aggregates).  The runtime then serves eligible map tasks through
+    #: :mod:`repro.batch` and falls back to ``mapper`` otherwise; outputs
+    #: are byte-identical either way, so every other component may ignore
+    #: this field.  Never set by users directly.
+    batch_specs: Dict[Any, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.inputs:
@@ -118,6 +126,7 @@ class JobConf:
             requires_sorted_output=self.requires_sorted_output,
             parallelism=self.parallelism,
             params=dict(self.params),
+            batch_specs=dict(self.batch_specs),
         )
 
 

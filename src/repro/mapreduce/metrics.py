@@ -7,7 +7,7 @@ bytes touched, intermediate data size, records skipped by indexes, ...).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 
@@ -17,6 +17,11 @@ class JobMetrics:
 
     #: number of input splits == map tasks
     map_tasks: int = 0
+    #: map tasks served by the vectorized batch executor instead of the
+    #: record-at-a-time mapper loop (see :mod:`repro.batch`).  Like
+    #: ``map_tasks`` this describes the job's shape, not a data volume,
+    #: so ``scaled()`` leaves it untouched.
+    batch_map_tasks: int = 0
     #: records delivered to map() (after any index-side filtering)
     map_input_records: int = 0
     #: bytes physically read from storage to feed the map phase

@@ -111,7 +111,23 @@ def execute_map_task(
     returned :class:`MapTaskResult`, so the sequential runner can fold
     results in task order while the parallel runner executes the same
     function inside worker processes.
+
+    Stages lowered with a vectorized spec for this input tag (see
+    :class:`~repro.mapreduce.job.JobConf.batch_specs`) are served by the
+    batch executor when the concrete split supports it; it produces the
+    same :class:`MapTaskResult` bytes through the shared
+    :func:`_finish_map_task` tail, and declines (returns ``None``) for
+    split/input shapes outside its reach, landing back here on the
+    record-at-a-time loop below.
     """
+    if conf.batch_specs:
+        spec = conf.batch_specs.get(tag)
+        if spec is not None:
+            from repro.batch.executor import run_batch_map_task
+
+            batched = run_batch_map_task(conf, spec, tag, split)
+            if batched is not None:
+                return batched
     out = MapTaskResult(
         partitions=[[] for _ in range(conf.num_reducers)]
     )
@@ -137,9 +153,29 @@ def execute_map_task(
     metrics.map_input_stored_bytes += reader.stored_bytes
     metrics.map_input_logical_bytes += reader.logical_bytes
     metrics.records_skipped += reader.skipped
-    emitted = ctx.emitted
-    metrics.map_output_records += len(emitted)
     counters.merge(ctx.counters)
+    _finish_map_task(conf, out, ctx.emitted)
+    # Harvested last: on lazy-decoding inputs the size accounting and
+    # combiner in the shared tail may materialize further fields of
+    # emitted records, and that decode work must be charged to this
+    # task, not lost.
+    metrics.fields_deserialized += reader.fields_decoded
+    return out
+
+
+def _finish_map_task(
+    conf: JobConf, out: MapTaskResult, emitted: List[Tuple[Any, Any]]
+) -> None:
+    """The map task's output tail: size, combine, filter, partition.
+
+    Shared verbatim between the record path above and the vectorized
+    batch executor (:mod:`repro.batch.executor`): however the ``emitted``
+    pairs were produced, they go through identical combining, shuffle
+    filtering, partition routing and byte accounting, which is what makes
+    the two paths' task results interchangeable.
+    """
+    metrics = out.metrics
+    metrics.map_output_records += len(emitted)
 
     # One estimate_size pass per pair, shared between map-output and
     # shuffle accounting: without a combiner the emitted pairs *are* the
@@ -153,7 +189,7 @@ def execute_map_task(
         metrics.map_output_bytes += map_output_bytes
         sized = [
             (key, value, estimate_size(key), estimate_size(value))
-            for key, value in _run_combiner(conf, emitted, counters)
+            for key, value in _run_combiner(conf, emitted, out.counters)
         ]
     else:
         sized = [
@@ -185,11 +221,6 @@ def execute_map_task(
     metrics.shuffle_records += len(sized)
     metrics.shuffle_key_bytes += shuffle_key_bytes
     metrics.shuffle_bytes += shuffle_bytes
-    # Harvested last: on lazy-decoding inputs the size accounting and
-    # combiner above may materialize further fields of emitted records,
-    # and that decode work must be charged to this task, not lost.
-    metrics.fields_deserialized += reader.fields_decoded
-    return out
 
 
 def _run_combiner(

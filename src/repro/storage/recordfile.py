@@ -192,6 +192,16 @@ class RecordFileReader:
             offset = self._file.tell()
             payload_len, n1 = self._read_uvarint_from_file()
             n_records, n2 = self._read_uvarint_from_file()
+            if offset + n1 + n2 + payload_len > self._file_size:
+                # Without this check a file cut mid-block seeks past EOF
+                # here and the loop just ends, so the directory -- and
+                # therefore every split -- silently omits trailing data.
+                raise CorruptFileError(
+                    f"{self.path}: truncated final block at offset {offset} "
+                    f"(header claims {payload_len} payload bytes, file ends "
+                    f"{offset + n1 + n2 + payload_len - self._file_size} "
+                    f"bytes short)"
+                )
             out.append(BlockInfo(offset, n1 + n2 + payload_len, n_records))
             self._file.seek(payload_len, io.SEEK_CUR)
         return out
@@ -235,11 +245,18 @@ class RecordFileReader:
             end = len(payload)
             pos = 0
             for _ in range(n_records):
-                klen, pos = varint.decode_uvarint(view, pos, end)
-                kend = pos + klen
-                if kend > end:
-                    raise CorruptFileError(f"{self.path}: truncated record")
-                vlen, vpos = varint.decode_uvarint(view, kend, end)
+                try:
+                    klen, pos = varint.decode_uvarint(view, pos, end)
+                    kend = pos + klen
+                    if kend > end:
+                        raise CorruptFileError(
+                            f"{self.path}: truncated record"
+                        )
+                    vlen, vpos = varint.decode_uvarint(view, kend, end)
+                except SerializationError as exc:
+                    raise CorruptFileError(
+                        f"{self.path}: truncated record ({exc})"
+                    ) from exc
                 vend = vpos + vlen
                 if vend > end:
                     raise CorruptFileError(f"{self.path}: truncated record")

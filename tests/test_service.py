@@ -354,6 +354,48 @@ class TestQueryServer:
         assert payload == serialize_rows(rows)
         assert deserialize_rows(payload) == rows
 
+    def test_served_vectorized_bytes_identical_to_record_path(
+            self, server, webpages, tmp_path):
+        """Tenant sessions vectorize by default; the cached payload must
+        still be byte-for-byte what the record-at-a-time path produces."""
+        def shape(ds):
+            return ds.filter(col("rank") > 30).select("url", "rank")
+
+        def agg_shape(ds):
+            return ds.filter(col("rank") > 10).group_by("rank") \
+                .agg(n=("count", None), top=("max", "rank"))
+
+        with _connect(server) as remote:
+            payload, _ = shape(remote.read(webpages)).collect_bytes()
+            agg_payload, _ = agg_shape(remote.read(webpages)).collect_bytes()
+            cached_payload, cached = shape(remote.read(webpages)) \
+                .collect_bytes()
+        assert cached and cached_payload == payload
+        assert server.tenants.get("alice").session.vectorize
+
+        with Session(catalog_dir=str(tmp_path / "rec-cat"),
+                     vectorize=False) as record:
+            for build, expected in ((shape, payload),
+                                    (agg_shape, agg_payload)):
+                result = build(record.read(webpages)).run()
+                assert all(
+                    s.outcome.result.metrics.batch_map_tasks == 0
+                    for s in result.stages
+                )
+                assert serialize_rows(result.rows) == expected
+
+        # the same query shapes do engage the batch path in-process, so
+        # the served results above really exercised it
+        with Session(catalog_dir=str(tmp_path / "vec-cat")) as vect:
+            for build, expected in ((shape, payload),
+                                    (agg_shape, agg_payload)):
+                result = build(vect.read(webpages)).run()
+                assert sum(
+                    s.outcome.result.metrics.batch_map_tasks
+                    for s in result.stages
+                ) > 0
+                assert serialize_rows(result.rows) == expected
+
     def test_repeat_submission_served_from_cache(self, server, webpages):
         with _connect(server) as remote:
             ds = remote.read(webpages).filter(col("rank") > 45)
