@@ -101,7 +101,11 @@ class Session:
         **manimal_kwargs: Any,
     ):
         if workdir is None:
-            workdir = tempfile.mkdtemp(prefix="manimal-session-")
+            # pid-stamped so the engine's orphan reaper can collect the
+            # workdir if this process dies before close().
+            workdir = tempfile.mkdtemp(
+                prefix=f"manimal-session-{os.getpid()}-"
+            )
             self._owns_workdir = True
         else:
             os.makedirs(workdir, exist_ok=True)

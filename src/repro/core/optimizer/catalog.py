@@ -37,6 +37,7 @@ try:  # pragma: no cover - fcntl is POSIX-only; mirrors a Hadoop setting
 except ImportError:  # pragma: no cover
     fcntl = None  # type: ignore[assignment]
 
+from repro import faults
 from repro.exceptions import CatalogError
 
 #: Attempts to read a registry that looks torn mid-read (non-atomic
@@ -284,6 +285,11 @@ class Catalog:
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as f:
                 json.dump(data, f, indent=2, sort_keys=True)
+            # Chaos hook: a torn_write fault here truncates the temp
+            # file and raises, simulating a writer dying mid-publish --
+            # the os.replace below must never run on torn bytes, so the
+            # published catalog.json stays intact.
+            faults.fault_point("catalog.write", path=tmp)
             os.replace(tmp, self._path)
         except BaseException:
             try:

@@ -1,4 +1,4 @@
-"""Persistent, fork-aware worker pool shared across jobs.
+"""Persistent, fork-aware worker pool with task-level fault recovery.
 
 The pre-engine :class:`~repro.mapreduce.parallel.ParallelJobRunner`
 constructed a ``ProcessPoolExecutor`` inside every ``run(conf)`` call and
@@ -25,6 +25,44 @@ produce byte-identical results; only scheduling differs.  In-flight
 tasks on the shared pool are throttled to the job's requested worker
 count, so ``parallelism=2`` keeps meaning "at most 2 of my tasks at
 once" even when the engine pool is wider.
+
+Fault tolerance (see ``docs/robustness.md``).  MapReduce's core promise
+is that deterministic tasks can be transparently re-executed when
+workers die, and this pool keeps it:
+
+* **crash recovery** -- a worker lost mid-task (OOM kill, hard crash, an
+  injected ``kill`` fault) breaks the ``ProcessPoolExecutor``; the pool
+  is respawned and the unfinished tasks re-dispatched.  Attempts are
+  charged per task (bounded by :class:`RetryPolicy.max_task_attempts`)
+  using heartbeat files to tell *started* tasks -- which may have died
+  with the worker -- from merely queued ones, which are requeued free;
+* **quarantined spill output** -- every attempt writes its spill runs
+  under attempt-suffixed names (:func:`~repro.mapreduce.shuffle.run_path`),
+  so a killed attempt's partial files can never alias -- or be read in
+  place of -- the retry's output.  Only paths returned by *successful*
+  attempts reach the reduce phase;
+* **deadlines** -- with :class:`RetryPolicy.task_timeout` set, a monitor
+  checks each in-flight task's heartbeat; a task with no progress past
+  the deadline gets its workers killed and is re-dispatched like a
+  crash (charged an attempt, so a deterministic hang cannot loop);
+* **degradation ladder** -- a pool that breaks more than
+  :class:`RetryPolicy.max_pool_rebuilds` times within one job degrades
+  to finishing that job's remaining tasks inline (the sequential
+  spill path, still byte-identical); a pool that keeps breaking across
+  :data:`WorkerPool.degrade_after_jobs` consecutive jobs routes whole
+  jobs inline until :meth:`WorkerPool.reset_health` (or a clean pooled
+  job) restores it;
+* **transient task errors** -- tasks failing with
+  :class:`~repro.exceptions.TransientTaskError` (disk-full spills,
+  injected chaos) are re-dispatched with the same attempt bound;
+  ordinary user-code failures (:class:`JobExecutionError`) stay fatal
+  on first occurrence -- deterministic code that raised once will raise
+  again.
+
+Because each task contributes exactly one successful result and results
+roll up by task index, recovery never changes output bytes, counters or
+volume metrics -- a job that lost three workers returns exactly the
+bytes of a clean sequential run.
 """
 
 from __future__ import annotations
@@ -34,12 +72,15 @@ import multiprocessing
 import os
 import pickle
 import threading
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.exceptions import JobExecutionError
+from repro import faults
+from repro.exceptions import JobExecutionError, TransientTaskError
 from repro.mapreduce import shuffle
 from repro.mapreduce.job import JobConf
 from repro.mapreduce.runtime import execute_map_task, execute_reduce_partition
@@ -68,6 +109,56 @@ def fork_available() -> bool:
     return _FORK_CONTEXT is not None
 
 
+def _env_float(name: str) -> Optional[float]:
+    raw = os.environ.get(name)
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
+
+@dataclass
+class RetryPolicy:
+    """How hard one job tries to survive worker failures.
+
+    The defaults (environment-overridable) give every parallel job crash
+    recovery with bounded attempts and no deadline; tests and services
+    tighten them per runner.  ``enabled=False`` restores the pre-recovery
+    semantics -- first worker loss fails the job -- and is the A/B lever
+    ``benchmarks/bench_resilience.py`` uses to price the machinery.
+    """
+
+    #: master switch; False = fail the job on the first worker loss.
+    enabled: bool = True
+    #: total dispatches one task may consume before the job fails.
+    max_task_attempts: int = 3
+    #: seconds a *started* task may run without finishing before its
+    #: workers are killed and it is re-dispatched; None = no deadline.
+    task_timeout: Optional[float] = None
+    #: pool respawns tolerated within one job before degrading to
+    #: inline execution of the remaining tasks.
+    max_pool_rebuilds: int = 2
+    #: monitor wake-up interval while tasks are in flight.
+    monitor_interval: float = 0.05
+
+    @classmethod
+    def from_env(cls) -> "RetryPolicy":
+        """Defaults, overridden by ``REPRO_TASK_ATTEMPTS`` /
+        ``REPRO_TASK_TIMEOUT`` / ``REPRO_POOL_REBUILDS`` when set."""
+        policy = cls()
+        attempts = _env_float("REPRO_TASK_ATTEMPTS")
+        if attempts is not None:
+            policy.max_task_attempts = max(1, int(attempts))
+        policy.task_timeout = _env_float("REPRO_TASK_TIMEOUT")
+        rebuilds = _env_float("REPRO_POOL_REBUILDS")
+        if rebuilds is not None:
+            policy.max_pool_rebuilds = max(0, int(rebuilds))
+        return policy
+
+
 @dataclass
 class _JobState:
     """Per-run state workers reach through a state file or fork memory."""
@@ -78,50 +169,100 @@ class _JobState:
     spill_dir: str
     #: sorted spill runs when the job reduces; raw runs for map-only jobs
     sort_runs: bool
+    #: fault-injection plan captured at submit time; travels to workers
+    #: with the state so chaos tests hold over every scheduling path.
+    faults: Optional[faults.FaultPlan] = None
+    #: workers write per-task heartbeat files (the crash/deadline
+    #: monitor's progress signal); off when recovery is disabled.
+    heartbeats: bool = True
+
+
+# -- heartbeats ---------------------------------------------------------------
+
+
+def heartbeat_path(spill_dir: str, phase: str, index: int,
+                   attempt: int) -> str:
+    """The progress-marker file one task attempt touches at start."""
+    return os.path.join(spill_dir, f"hb-{phase}-{index}-a{attempt}")
+
+
+def _touch_heartbeat(state: _JobState, phase: str, index: int,
+                     attempt: int) -> None:
+    if not state.heartbeats:
+        return
+    try:
+        with open(heartbeat_path(state.spill_dir, phase, index, attempt),
+                  "wb"):
+            pass
+    except OSError:
+        pass  # heartbeat loss degrades monitoring, never the task
 
 
 # -- shared task bodies ------------------------------------------------------
 
 
-def run_map_task(state: _JobState, task_index: int) -> Tuple[
-    int, Dict[int, str], Any, Any
-]:
+def run_map_task(state: _JobState, task_index: int,
+                 attempt: int = 0) -> Tuple[int, Dict[int, str], Any, Any]:
     """Run map task ``task_index`` and spill its partitioned output.
 
     Reducing jobs spill *decorated* sorted runs -- ``(sort_key, key,
     value)`` rows -- so the sort key computed here is the one the merge
     heap and the reducer's grouping reuse.  Map-only jobs spill plain
     pairs (their output is never sorted).
+
+    ``attempt`` namespaces this execution's heartbeat and spill files:
+    a retried task writes fresh run files instead of racing a killed
+    sibling's partial output (quarantine), and the returned run paths
+    are the only ones the reduce phase ever reads.
     """
     tag, split = state.tasks[task_index]
-    task = execute_map_task(state.conf, tag, split)
-    runs: Dict[int, str] = {}
-    for part, pairs in enumerate(task.partitions):
-        if not pairs:
-            continue
-        if state.sort_runs:
-            pairs = shuffle.sort_decorated_run(shuffle.decorate_pairs(pairs))
-        runs[part] = shuffle.write_run(
-            shuffle.run_path(state.spill_dir, "map", task_index, part), pairs
+    _touch_heartbeat(state, "map", task_index, attempt)
+    with faults.activate(state.faults):
+        faults.fault_point(
+            "pool.map_task", task_index=task_index, attempt=attempt,
+            job=state.conf.name,
         )
+        task = execute_map_task(state.conf, tag, split)
+        runs: Dict[int, str] = {}
+        for part, pairs in enumerate(task.partitions):
+            if not pairs:
+                continue
+            if state.sort_runs:
+                pairs = shuffle.sort_decorated_run(
+                    shuffle.decorate_pairs(pairs)
+                )
+            runs[part] = shuffle.write_run(
+                shuffle.run_path(state.spill_dir, "map", task_index, part,
+                                 attempt=attempt),
+                pairs,
+            )
     return task_index, runs, task.metrics, task.counters
 
 
-def run_reduce_task(state: _JobState, partition: int,
-                    run_paths: List[str]) -> Tuple[int, str, Any, Any]:
+def run_reduce_task(state: _JobState, partition: int, run_paths: List[str],
+                    attempt: int = 0) -> Tuple[int, str, Any, Any]:
     """Merge one partition's runs, reduce them, spill the output."""
-    if state.sort_runs:
-        merged: Any = shuffle.merge_decorated_runs(run_paths)
-        reduced = execute_reduce_partition(
-            state.conf, merged, presorted=True, decorated=True
+    _touch_heartbeat(state, "reduce", partition, attempt)
+    with faults.activate(state.faults):
+        faults.fault_point(
+            "pool.reduce_task", partition=partition, attempt=attempt,
+            job=state.conf.name,
         )
-    else:
-        merged = shuffle.merge_runs(run_paths, sorted_runs=False)
-        reduced = execute_reduce_partition(state.conf, merged, presorted=True)
-    out_path = shuffle.write_run(
-        shuffle.run_path(state.spill_dir, "out", 0, partition),
-        reduced.outputs,
-    )
+        if state.sort_runs:
+            merged: Any = shuffle.merge_decorated_runs(run_paths)
+            reduced = execute_reduce_partition(
+                state.conf, merged, presorted=True, decorated=True
+            )
+        else:
+            merged = shuffle.merge_runs(run_paths, sorted_runs=False)
+            reduced = execute_reduce_partition(
+                state.conf, merged, presorted=True
+            )
+        out_path = shuffle.write_run(
+            shuffle.run_path(state.spill_dir, "out", 0, partition,
+                             attempt=attempt),
+            reduced.outputs,
+        )
     return partition, out_path, reduced.metrics, reduced.counters
 
 
@@ -147,16 +288,17 @@ _JOB_STATE: Optional[_JobState] = None
 _STATE_LOCK = threading.Lock()
 
 
-def _forked_map_worker(task_index: int):
+def _forked_map_worker(task_index: int, attempt: int = 0):
     state = _JOB_STATE
     assert state is not None, "worker has no inherited job state"
-    return run_map_task(state, task_index)
+    return run_map_task(state, task_index, attempt)
 
 
-def _forked_reduce_worker(partition: int, run_paths: List[str]):
+def _forked_reduce_worker(partition: int, run_paths: List[str],
+                          attempt: int = 0):
     state = _JOB_STATE
     assert state is not None, "worker has no inherited job state"
-    return run_reduce_task(state, partition, run_paths)
+    return run_reduce_task(state, partition, run_paths, attempt)
 
 
 # -- pooled path: persistent workers, state loaded from a spill file ---------
@@ -178,14 +320,164 @@ def _load_state(state_path: str, token: str) -> _JobState:
     return state
 
 
-def _pooled_map_worker(state_path: str, token: str, task_index: int):
-    return run_map_task(_load_state(state_path, token), task_index)
+def _pooled_map_worker(state_path: str, token: str, task_index: int,
+                       attempt: int = 0):
+    return run_map_task(_load_state(state_path, token), task_index, attempt)
 
 
 def _pooled_reduce_worker(state_path: str, token: str, partition: int,
-                          run_paths: List[str]):
+                          run_paths: List[str], attempt: int = 0):
     return run_reduce_task(_load_state(state_path, token), partition,
-                           run_paths)
+                           run_paths, attempt)
+
+
+# -- recovery plumbing --------------------------------------------------------
+
+
+class _DegradeToInline(Exception):
+    """Internal signal: the pool broke too often; finish inline."""
+
+
+@dataclass
+class _Task:
+    """One task's dispatch bookkeeping across attempts."""
+
+    key: Any
+    phase: str
+    index: int
+    #: attempt -> (worker function, args) for pool dispatch
+    build: Callable[[int], Tuple[Callable, Tuple]]
+    #: attempt -> result, executed in-process (degradation path)
+    inline: Callable[[int], Any]
+    attempts: int = 0
+    #: heartbeat path of the attempt currently in flight
+    hb: Optional[str] = None
+
+    def started(self) -> bool:
+        """Did the in-flight attempt reach its task body?"""
+        return self.hb is not None and os.path.exists(self.hb)
+
+    def started_at(self) -> Optional[float]:
+        if self.hb is None:
+            return None
+        try:
+            return os.path.getmtime(self.hb)
+        except OSError:
+            return None
+
+
+class _PoolRef:
+    """One job's handle on an executor, with bounded respawning.
+
+    Two concrete strategies subclass this: the shared persistent pool
+    (checked out of the owning :class:`WorkerPool`) and the per-job
+    forked pool.  ``broken`` gates submission between a failure being
+    detected (or workers being killed on deadline) and the rebuild.
+    """
+
+    def __init__(self, owner: "WorkerPool", policy: RetryPolicy):
+        self._owner = owner
+        self._policy = policy
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self.rebuilds = 0
+        self.broken = False
+        self.degraded = False
+
+    def get(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = self._create()
+            self.broken = False
+        return self._pool
+
+    def mark_broken(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            self._discard(pool)
+        self.broken = True
+
+    def rebuild(self) -> None:
+        """Account one respawn; raises :class:`_DegradeToInline` past the
+        policy bound (the *next* :meth:`get` forks the new workers)."""
+        self.rebuilds += 1
+        self._owner.pool_rebuilds += 1
+        if self.rebuilds > self._policy.max_pool_rebuilds:
+            self.degraded = True
+            raise _DegradeToInline()
+        self.broken = False
+
+    def kill_workers(self) -> None:
+        """SIGKILL the current executor's processes (deadline enforcement).
+
+        ``ProcessPoolExecutor`` has no public per-task cancellation; the
+        recovery loop treats the resulting broken pool exactly like a
+        crash, so hung and dead workers share one code path.
+        """
+        pool = self._pool
+        if pool is None:
+            return
+        self.broken = True
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            try:
+                proc.kill()
+            except Exception:  # noqa: BLE001 -- already-dead processes
+                pass
+
+    # -- strategy hooks -------------------------------------------------------
+
+    def _create(self) -> ProcessPoolExecutor:
+        raise NotImplementedError
+
+    def _discard(self, pool: ProcessPoolExecutor) -> None:
+        raise NotImplementedError
+
+    def release(self) -> None:
+        raise NotImplementedError
+
+
+class _SharedPoolRef(_PoolRef):
+    """Checkout of the engine's persistent pool for one job."""
+
+    def __init__(self, owner: "WorkerPool", n_workers: int,
+                 policy: RetryPolicy):
+        super().__init__(owner, policy)
+        self._n_workers = n_workers
+
+    def _create(self) -> ProcessPoolExecutor:
+        return self._owner._acquire_pool(self._n_workers)
+
+    def _discard(self, pool: ProcessPoolExecutor) -> None:
+        self._owner._discard_pool(pool)
+        self._owner._release_pool()
+
+    def release(self) -> None:
+        if self._pool is not None:
+            self._owner._release_pool()
+            self._pool = None
+
+
+class _ForkedPoolRef(_PoolRef):
+    """Per-job pool whose workers inherit :data:`_JOB_STATE` via fork."""
+
+    def __init__(self, owner: "WorkerPool", n_workers: int,
+                 policy: RetryPolicy):
+        super().__init__(owner, policy)
+        self._n_workers = n_workers
+
+    def _create(self) -> ProcessPoolExecutor:
+        # Workers fork lazily at first submit; the caller holds
+        # _STATE_LOCK with _JOB_STATE published, so respawned workers
+        # inherit the same job state as the originals.
+        return ProcessPoolExecutor(
+            max_workers=self._n_workers, mp_context=_FORK_CONTEXT
+        )
+
+    def _discard(self, pool: ProcessPoolExecutor) -> None:
+        pool.shutdown(wait=False)
+
+    def release(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
 
 class WorkerPool:
@@ -198,7 +490,15 @@ class WorkerPool:
     and reused until :meth:`shutdown` (or process exit).  Thread-safe:
     concurrent jobs share the pool, each throttled to its own worker
     count.
+
+    Worker crashes, hung tasks and transient task errors are recovered
+    per task under the job's :class:`RetryPolicy` -- see the module
+    docstring for the ladder.
     """
+
+    #: consecutive jobs that broke/degraded the pool before whole jobs
+    #: route inline (cleared by a clean pooled job or reset_health()).
+    degrade_after_jobs = 3
 
     def __init__(self, max_workers: Optional[int] = None):
         #: upper bound the persistent pool is first sized to; individual
@@ -219,6 +519,13 @@ class WorkerPool:
         self.jobs_forked = 0
         self.jobs_inline = 0
         self.pools_created = 0
+        #: recovery counters (never folded into JobMetrics: recovered
+        #: jobs must report metrics identical to clean runs)
+        self.tasks_retried = 0
+        self.tasks_timed_out = 0
+        self.pool_rebuilds = 0
+        self.jobs_degraded = 0
+        self.consecutive_breaks = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -269,37 +576,54 @@ class WorkerPool:
                 self._pool = None
                 self._pool_size = 0
 
+    def reset_health(self) -> None:
+        """Forget accumulated cross-job breakage (ends inline routing)."""
+        with self._lock:
+            self.consecutive_breaks = 0
+
     def stats(self) -> Dict[str, int]:
         return {
             "jobs_pooled": self.jobs_pooled,
             "jobs_forked": self.jobs_forked,
             "jobs_inline": self.jobs_inline,
             "pools_created": self.pools_created,
+            "tasks_retried": self.tasks_retried,
+            "tasks_timed_out": self.tasks_timed_out,
+            "pool_rebuilds": self.pool_rebuilds,
+            "jobs_degraded": self.jobs_degraded,
+            "consecutive_breaks": self.consecutive_breaks,
         }
 
     # -- job execution -------------------------------------------------------
 
-    def run_job(self, state: _JobState,
-                num_workers: int) -> Tuple[List, List]:
+    def run_job(self, state: _JobState, num_workers: int,
+                policy: Optional[RetryPolicy] = None) -> Tuple[List, List]:
         """Execute both phases of one job; returns (map, reduce) results.
 
         Result lists are unordered; callers sort by task index/partition
         (both are carried in each result tuple), so every scheduling path
         rolls up identically.
         """
+        if policy is None:
+            policy = RetryPolicy.from_env()
+        state.heartbeats = policy.enabled
         # Size for the wider phase: a job with one unsplittable input can
         # still fan its reduce partitions out across workers.
         widest_phase = max(1, len(state.tasks), state.conf.num_reducers)
         n_workers = min(num_workers, widest_phase)
-        if _FORK_CONTEXT is None or n_workers == 1:
+        unhealthy = (
+            policy.enabled
+            and self.consecutive_breaks >= self.degrade_after_jobs
+        )
+        if _FORK_CONTEXT is None or n_workers == 1 or unhealthy:
             self.jobs_inline += 1
-            return self._run_inline(state)
+            return self._run_inline(state, policy)
         blob = self._pickle_state(state)
         if blob is None:
             self.jobs_forked += 1
-            return self._run_forked(state, n_workers)
+            return self._run_forked(state, n_workers, policy)
         self.jobs_pooled += 1
-        return self._run_pooled(state, blob, n_workers)
+        return self._run_pooled(state, blob, n_workers, policy)
 
     @staticmethod
     def _pickle_state(state: _JobState) -> Optional[bytes]:
@@ -310,19 +634,61 @@ class WorkerPool:
             # forked path inherits them through fork memory instead.
             return None
 
-    def _run_inline(self, state: _JobState) -> Tuple[List, List]:
+    # -- inline path ----------------------------------------------------------
+
+    def _run_inline(self, state: _JobState,
+                    policy: RetryPolicy) -> Tuple[List, List]:
         """No-pool fallback: same spill path, executed in-process."""
         map_results = [
-            run_map_task(state, i) for i in range(len(state.tasks))
+            self._inline_attempts(
+                lambda a, i=i: run_map_task(state, i, a),
+                policy, state, "map", i,
+            )
+            for i in range(len(state.tasks))
         ]
         reduce_results = [
-            run_reduce_task(state, part, paths)
+            self._inline_attempts(
+                lambda a, p=part, paths=paths: run_reduce_task(
+                    state, p, paths, a
+                ),
+                policy, state, "reduce", part,
+            )
             for part, paths in partition_runs(map_results)
         ]
         return map_results, reduce_results
 
-    def _run_forked(self, state: _JobState,
-                    n_workers: int) -> Tuple[List, List]:
+    def _inline_attempts(self, call: Callable[[int], Any],
+                         policy: RetryPolicy, state: _JobState,
+                         phase: str, index: int, first_attempt: int = 0
+                         ) -> Any:
+        """Run one task in-process, retrying transient failures.
+
+        ``first_attempt`` continues the attempt numbering of pooled
+        dispatches (degradation path), preserving spill quarantine.
+        """
+        attempt = first_attempt
+        while True:
+            try:
+                return call(attempt)
+            except TransientTaskError as exc:
+                attempt += 1
+                used = attempt - first_attempt
+                if not policy.enabled or used >= policy.max_task_attempts:
+                    # Still TransientTaskError: attempts are exhausted
+                    # for THIS job, but the failure is infrastructure --
+                    # a fresh job-level retry (e.g. the query service's)
+                    # may succeed.
+                    raise TransientTaskError(
+                        f"{phase} task {index} of job "
+                        f"{state.conf.name!r} failed after {used} "
+                        f"attempt(s): {exc}"
+                    ) from exc
+                self.tasks_retried += 1
+
+    # -- forked path -----------------------------------------------------------
+
+    def _run_forked(self, state: _JobState, n_workers: int,
+                    policy: RetryPolicy) -> Tuple[List, List]:
         """Per-job pool; workers fork after the state is published."""
         global _JOB_STATE
         # The state lock serializes concurrent forked jobs in one process:
@@ -331,125 +697,279 @@ class WorkerPool:
         # workers.  Each job still fans out internally; picklable jobs
         # take the pooled path and do not contend here.
         with _STATE_LOCK:
+            ref = _ForkedPoolRef(self, n_workers, policy)
             try:
                 _JOB_STATE = state
-                with ProcessPoolExecutor(
-                    max_workers=n_workers, mp_context=_FORK_CONTEXT
-                ) as pool:
-                    map_results = self._dispatch(
-                        pool,
-                        [(_forked_map_worker, (i,))
-                         for i in range(len(state.tasks))],
-                        n_workers,
-                    )
-                    reduce_results = self._dispatch(
-                        pool,
-                        [(_forked_reduce_worker, (part, paths))
-                         for part, paths in partition_runs(map_results)],
-                        n_workers,
-                    )
-            except JobExecutionError:
-                raise
-            except Exception as exc:
-                # BrokenProcessPool and friends: a worker died without a
-                # Python-level traceback (OOM kill, hard crash).
-                raise JobExecutionError(
-                    f"parallel job {state.conf.name!r} lost a worker "
-                    f"process: {exc}"
-                ) from exc
+                return self._run_phases(
+                    ref, state, n_workers, policy,
+                    map_build=lambda i: (
+                        lambda a, i=i: (_forked_map_worker, (i, a))
+                    ),
+                    reduce_build=lambda part, paths: (
+                        lambda a, p=part, ps=paths: (
+                            _forked_reduce_worker, (p, ps, a)
+                        )
+                    ),
+                )
             finally:
+                ref.release()
                 _JOB_STATE = None
-        return map_results, reduce_results
 
-    def _run_pooled(self, state: _JobState, blob: bytes,
-                    n_workers: int) -> Tuple[List, List]:
+    # -- pooled path -----------------------------------------------------------
+
+    def _run_pooled(self, state: _JobState, blob: bytes, n_workers: int,
+                    policy: RetryPolicy) -> Tuple[List, List]:
         """Dispatch to the persistent pool via a spilled state file."""
         state_path = os.path.join(state.spill_dir, "jobstate.pkl")
         with open(state_path, "wb") as f:
             f.write(blob)
         token = f"{os.getpid()}-{next(self._token_seq)}"
-        pool = self._acquire_pool(n_workers)
+        ref = _SharedPoolRef(self, n_workers, policy)
         try:
-            map_results = self._dispatch(
-                pool,
-                [(_pooled_map_worker, (state_path, token, i))
-                 for i in range(len(state.tasks))],
-                n_workers,
+            return self._run_phases(
+                ref, state, n_workers, policy,
+                map_build=lambda i: (
+                    lambda a, i=i: (
+                        _pooled_map_worker, (state_path, token, i, a)
+                    )
+                ),
+                reduce_build=lambda part, paths: (
+                    lambda a, p=part, ps=paths: (
+                        _pooled_reduce_worker, (state_path, token, p, ps, a)
+                    )
+                ),
             )
-            reduce_results = self._dispatch(
-                pool,
-                [(_pooled_reduce_worker, (state_path, token, part, paths))
-                 for part, paths in partition_runs(map_results)],
-                n_workers,
-            )
+        finally:
+            ref.release()
+
+    # -- phase execution with recovery -----------------------------------------
+
+    def _run_phases(self, ref: _PoolRef, state: _JobState, n_workers: int,
+                    policy: RetryPolicy,
+                    map_build: Callable[[int], Callable],
+                    reduce_build: Callable[[int, List[str]], Callable],
+                    ) -> Tuple[List, List]:
+        """Both phases on ``ref``, wrapped into the job's error contract."""
+        try:
+            map_tasks = [
+                _Task(
+                    key=i, phase="map", index=i, build=map_build(i),
+                    inline=lambda a, i=i: run_map_task(state, i, a),
+                )
+                for i in range(len(state.tasks))
+            ]
+            map_results = list(self._execute_tasks(
+                ref, map_tasks, n_workers, policy, state
+            ).values())
+            reduce_tasks = [
+                _Task(
+                    key=part, phase="reduce", index=part,
+                    build=reduce_build(part, paths),
+                    inline=lambda a, p=part, ps=paths: run_reduce_task(
+                        state, p, ps, a
+                    ),
+                )
+                for part, paths in partition_runs(map_results)
+            ]
+            reduce_results = list(self._execute_tasks(
+                ref, reduce_tasks, n_workers, policy, state
+            ).values())
+        except JobExecutionError:
+            self._note_job_health(ref)
+            raise
         except BrokenProcessPool as exc:
-            # A worker died without a Python-level traceback (OOM kill,
-            # hard crash).  The pool is unusable afterwards; discard it
-            # (identity-checked) so later jobs fork a fresh one.
-            self._discard_pool(pool)
-            raise JobExecutionError(
+            # Recovery disabled or exhausted: a worker died without a
+            # Python-level traceback (OOM kill, hard crash).  Transient:
+            # the failure is the infrastructure's, not the job's.
+            self._note_job_health(ref, broke=True)
+            raise TransientTaskError(
                 f"parallel job {state.conf.name!r} lost a worker "
                 f"process: {exc}"
             ) from exc
-        except JobExecutionError:
-            raise
         except Exception as exc:
             # A task failed with an ordinary error (e.g. disk full while
             # spilling): the job fails but the pool is healthy -- other
             # jobs keep running on it.
+            self._note_job_health(ref)
             raise JobExecutionError(
                 f"parallel job {state.conf.name!r} task failed: {exc}"
             ) from exc
-        finally:
-            self._release_pool()
+        self._note_job_health(ref)
         return map_results, reduce_results
 
-    @staticmethod
-    def _dispatch(pool: ProcessPoolExecutor,
-                  calls: List[Tuple[Callable, Tuple]],
-                  limit: int) -> List:
-        """Submit ``calls``, keeping at most ``limit`` in flight.
+    def _note_job_health(self, ref: _PoolRef, broke: bool = False) -> None:
+        """Cross-job degradation accounting (see ``degrade_after_jobs``)."""
+        with self._lock:
+            if broke or ref.rebuilds > 0 or ref.degraded:
+                self.consecutive_breaks += 1
+            else:
+                self.consecutive_breaks = 0
+
+    def _execute_tasks(self, ref: _PoolRef, tasks: List[_Task], limit: int,
+                       policy: RetryPolicy,
+                       state: _JobState) -> Dict[Any, Any]:
+        """Run one phase's tasks on ``ref`` with crash/deadline recovery.
 
         The in-flight cap is what makes a job's worker count meaningful
         on a shared pool: two concurrent jobs with ``parallelism=2`` each
         occupy at most 2 workers apiece, regardless of pool width.
-        Task failures (:class:`JobExecutionError` from user code, or pool
-        breakage) propagate to the caller, which owns the wrapping -- but
-        only after this job's sibling in-flight tasks are cancelled or
-        drained, so a failed job never leaves orphan tasks running on the
-        shared pool (or writing into a spill dir the runner is about to
-        delete).
+
+        Returns ``{task.key: result}`` with exactly one successful result
+        per task -- however many attempts it took -- so the caller's
+        deterministic rollup is untouched by recovery.  Fatal failures
+        (user code, exhausted attempts) propagate only after this job's
+        sibling in-flight tasks are cancelled or drained, so a failed job
+        never leaves orphan tasks running on the shared pool (or writing
+        into a spill dir the runner is about to delete).
         """
-        results: List[Any] = []
-        it = iter(calls)
-        pending = set()
+        results: Dict[Any, Any] = {}
+        queue = deque(tasks)
+        inflight: Dict[Future, _Task] = {}
+        if ref.degraded:
+            # An earlier phase already exhausted the rebuild budget;
+            # this phase goes straight to inline execution.
+            for task in tasks:
+                results[task.key] = self._inline_attempts(
+                    task.inline, policy, state, task.phase, task.index,
+                )
+            return results
 
-        def refill() -> None:
-            while len(pending) < limit:
-                nxt = next(it, None)
-                if nxt is None:
-                    return
-                fn, args = nxt
-                pending.add(pool.submit(fn, *args))
-
-        refill()
-        while pending:
-            done, not_done = wait(pending, return_when=FIRST_COMPLETED)
-            pending = set(not_done)
-            failure: Optional[BaseException] = None
-            for future in done:
+        def submit_ready() -> None:
+            while queue and len(inflight) < limit and not ref.broken:
+                task = queue.popleft()
+                fn, args = task.build(task.attempts)
+                task.hb = heartbeat_path(
+                    state.spill_dir, task.phase, task.index, task.attempts
+                )
+                task.attempts += 1
                 try:
-                    results.append(future.result())
+                    inflight[ref.get().submit(fn, *args)] = task
+                except BrokenProcessPool:
+                    # The pool died between jobs/batches; uncharge (the
+                    # attempt never left this process) and recover below.
+                    task.attempts -= 1
+                    queue.appendleft(task)
+                    ref.mark_broken()
+                    return
+
+        def fail_fast(exc: BaseException) -> None:
+            for future in inflight:
+                future.cancel()
+            drained, _ = wait(list(inflight), timeout=10.0)
+            for future in drained:
+                if not future.cancelled():
+                    future.exception()  # retrieve, don't warn
+            raise exc
+
+        def requeue_after_break(task: _Task) -> None:
+            if not task.started():
+                # Never reached its task body: the crash was a sibling's.
+                # Requeue free of charge.
+                task.attempts -= 1
+            elif not policy.enabled or (
+                task.attempts >= policy.max_task_attempts
+            ):
+                fail_fast(TransientTaskError(
+                    f"{task.phase} task {task.index} of job "
+                    f"{state.conf.name!r} lost its worker after "
+                    f"{task.attempts} attempt(s); giving up"
+                ))
+            else:
+                self.tasks_retried += 1
+            queue.append(task)
+
+        def finish_inline() -> Dict[Any, Any]:
+            # Degradation: the pool broke past the policy bound.  Finish
+            # the remaining tasks in-process (attempt numbering continues,
+            # so spill quarantine holds) -- slower, but the job completes
+            # with identical bytes.
+            self.jobs_degraded += 1
+            while queue:
+                task = queue.popleft()
+                results[task.key] = self._inline_attempts(
+                    task.inline, policy, state, task.phase, task.index,
+                    first_attempt=task.attempts,
+                )
+            return results
+
+        submit_ready()
+        while queue or inflight:
+            if ref.broken and not inflight:
+                if not policy.enabled:
+                    raise BrokenProcessPool("worker pool broke")
+                try:
+                    ref.rebuild()
+                except _DegradeToInline:
+                    return finish_inline()
+                submit_ready()
+                continue
+            timeout = None
+            if policy.task_timeout is not None or ref.broken:
+                timeout = policy.monitor_interval
+            done, _ = wait(list(inflight), timeout=timeout,
+                           return_when=FIRST_COMPLETED)
+            pool_broke = False
+            for future in done:
+                task = inflight.pop(future)
+                try:
+                    result = future.result()
+                except BrokenProcessPool:
+                    pool_broke = True
+                    requeue_after_break(task)
+                    continue
+                except TransientTaskError as exc:
+                    if not policy.enabled or (
+                        task.attempts >= policy.max_task_attempts
+                    ):
+                        fail_fast(TransientTaskError(
+                            f"{task.phase} task {task.index} of job "
+                            f"{state.conf.name!r} failed after "
+                            f"{task.attempts} attempt(s): {exc}"
+                        ))
+                    self.tasks_retried += 1
+                    queue.append(task)
+                    continue
                 except BaseException as exc:  # noqa: BLE001 -- re-raised
-                    if failure is None:
-                        failure = exc
-            if failure is not None:
-                for future in pending:
-                    future.cancel()
-                drained, _ = wait(pending)
+                    fail_fast(exc)
+                results[task.key] = result
+                if task.hb is not None:
+                    try:
+                        os.remove(task.hb)
+                    except OSError:
+                        pass
+            if pool_broke:
+                # Every sibling still in flight is (about to be) broken
+                # too; drain them all before respawning, so no orphan of
+                # the dead pool outlives it.
+                drained, _ = wait(list(inflight), timeout=10.0)
                 for future in drained:
+                    task = inflight.pop(future)
                     if not future.cancelled():
-                        future.exception()  # retrieve, don't warn
-                raise failure
-            refill()
+                        future.exception()
+                    requeue_after_break(task)
+                for future in list(inflight):
+                    task = inflight.pop(future)
+                    future.cancel()
+                    requeue_after_break(task)
+                ref.mark_broken()
+                continue
+            if (policy.task_timeout is not None and inflight
+                    and not ref.broken):
+                now = time.time()
+                hung = [
+                    task for task in inflight.values()
+                    if task.started()
+                    and now - (task.started_at() or now)
+                    > policy.task_timeout
+                ]
+                if hung:
+                    # No per-task kill exists on ProcessPoolExecutor;
+                    # killing the workers converts the hang into the
+                    # (recoverable) crash path above.  Only the hung
+                    # tasks keep their attempt charge -- un-started
+                    # siblings are refunded on requeue.
+                    self.tasks_timed_out += len(hung)
+                    ref.kill_workers()
+                    continue
+            submit_ready()
         return results

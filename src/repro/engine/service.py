@@ -18,7 +18,12 @@ against reuse).
 from __future__ import annotations
 
 import atexit
+import os
+import re
+import shutil
+import tempfile
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -31,14 +36,78 @@ from repro.engine.pool import WorkerPool, default_worker_count
 #: it and plan uncached).
 _FP_ATTR = "_engine_fingerprint"
 
+#: Scratch directories this package creates, stamped with the creating
+#: pid: ``manimal-shuffle-<pid>-...`` spill dirs and
+#: ``manimal-session-<pid>-...`` session workdirs.
+_SCRATCH_RE = re.compile(r"^manimal-(?:shuffle|session)-(\d+)-")
+
+#: A scratch dir whose creator is dead is reaped only once it is also
+#: older than this, guarding against pid reuse racing a fresh dir.
+_SCRATCH_MIN_AGE = 300.0
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True  # exists, just not ours
+    return True
+
+
+def reap_orphan_scratch(base_dir: Optional[str] = None,
+                        min_age: float = _SCRATCH_MIN_AGE) -> List[str]:
+    """Delete scratch dirs whose creating process died without cleanup.
+
+    A crashed run (worker kill, SIGKILL mid-job, power loss) leaks its
+    spill/session directory under the system temp dir; a long-lived
+    service accumulating those would eventually fill the disk.  On engine
+    startup we scan ``base_dir`` (default: ``tempfile.gettempdir()``) for
+    pid-stamped scratch dirs and remove each whose pid is no longer alive
+    *and* whose mtime is older than ``min_age`` seconds -- the age check
+    keeps a just-created dir safe even if its pid number was recycled.
+    Returns the removed paths (for tests and logs); reaping is
+    best-effort and never raises.
+    """
+    base = base_dir or tempfile.gettempdir()
+    removed: List[str] = []
+    try:
+        entries = os.listdir(base)
+    except OSError:
+        return removed
+    now = time.time()
+    for name in entries:
+        match = _SCRATCH_RE.match(name)
+        if match is None:
+            continue
+        pid = int(match.group(1))
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        path = os.path.join(base, name)
+        try:
+            if now - os.path.getmtime(path) < min_age:
+                continue
+            shutil.rmtree(path, ignore_errors=True)
+        except OSError:
+            continue
+        if not os.path.exists(path):
+            removed.append(path)
+    return removed
+
 
 class ExecutionEngine:
     """Shared execution machinery: worker pool, caches, stage dispatch."""
 
     def __init__(self, max_workers: Optional[int] = None,
                  analysis_cache_size: int = 256,
-                 plan_cache_size: int = 256):
+                 plan_cache_size: int = 256,
+                 reap_scratch: bool = True):
         self.pool = WorkerPool(max_workers)
+        #: orphan scratch dirs removed at startup (see reap_orphan_scratch)
+        self.reaped_scratch: List[str] = []
+        if reap_scratch:
+            self.reaped_scratch = reap_orphan_scratch()
         self.analysis_cache = MemoCache(maxsize=analysis_cache_size)
         self.plan_cache = MemoCache(maxsize=plan_cache_size)
         self._stage_pool: Optional[ThreadPoolExecutor] = None

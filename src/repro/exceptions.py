@@ -64,6 +64,30 @@ class JobExecutionError(MapReduceError):
     """A map or reduce task failed while running user code."""
 
 
+class TransientTaskError(JobExecutionError):
+    """A task failed for an infrastructure reason that may not recur.
+
+    Raised for failures that re-executing the same deterministic task can
+    plausibly survive: a spill write hitting a full disk, a worker lost
+    mid-task, an injected chaos fault.  The worker pool re-dispatches
+    tasks that fail with this class (bounded by
+    :class:`~repro.engine.pool.RetryPolicy.max_task_attempts`) instead of
+    failing the job; user-code failures raise the parent class and are
+    never retried -- a deterministic task that raised once will raise
+    again.
+    """
+
+
+class DeadlineExceededError(MapReduceError):
+    """A task or request ran past its deadline.
+
+    Not retryable by default: re-running the same work under the same
+    deadline is expected to time out again.  Raised by the worker pool
+    when a task exhausts its attempts by timing out, and by the query
+    service when a request's deadline expires before dispatch.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Analyzer
 # ---------------------------------------------------------------------------

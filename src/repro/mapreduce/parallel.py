@@ -41,12 +41,19 @@ Hadoop semantics) behave identically under both runners.
 
 from __future__ import annotations
 
+import os
 import shutil
 import tempfile
 import time
 from typing import Any, List, Optional, Tuple
 
-from repro.engine.pool import WorkerPool, _JobState, default_worker_count
+from repro import faults
+from repro.engine.pool import (
+    RetryPolicy,
+    WorkerPool,
+    _JobState,
+    default_worker_count,
+)
 from repro.exceptions import JobConfigError
 from repro.mapreduce import shuffle
 from repro.mapreduce.counters import FRAMEWORK_GROUP, Counters
@@ -69,11 +76,24 @@ class ParallelJobRunner:
     :func:`~repro.engine.pool.default_worker_count`).  Scheduling runs on
     the engine's shared persistent pool; pass ``engine`` to pin a
     specific :class:`~repro.engine.service.ExecutionEngine`.
+
+    Fault tolerance is governed by a
+    :class:`~repro.engine.pool.RetryPolicy`: by default the runner
+    recovers crashed workers and retries transient task failures
+    (bounded attempts, environment-overridable); ``task_timeout`` adds a
+    per-task deadline enforced by heartbeat progress checks.  Pass
+    ``retry_policy`` to override wholesale, or the individual knobs to
+    tweak the env-derived defaults.  Recovery never changes results --
+    see ``docs/robustness.md``.
     """
 
     def __init__(self, num_workers: Optional[int] = None,
                  splits_per_input: int = 10,
-                 engine: Optional[Any] = None):
+                 engine: Optional[Any] = None,
+                 task_timeout: Optional[float] = None,
+                 max_task_attempts: Optional[int] = None,
+                 max_pool_rebuilds: Optional[int] = None,
+                 retry_policy: Optional[RetryPolicy] = None):
         if num_workers is not None and num_workers < 0:
             raise JobConfigError("num_workers must be >= 0 (0 = auto)")
         #: worker process count; None/0 resolve to one per CPU
@@ -81,6 +101,15 @@ class ParallelJobRunner:
         #: target number of splits (map tasks) per input source
         self.splits_per_input = splits_per_input
         self._engine = engine
+        policy = retry_policy or RetryPolicy.from_env()
+        if task_timeout is not None:
+            policy.task_timeout = task_timeout
+        if max_task_attempts is not None:
+            policy.max_task_attempts = max(1, max_task_attempts)
+        if max_pool_rebuilds is not None:
+            policy.max_pool_rebuilds = max(0, max_pool_rebuilds)
+        #: fault-recovery policy for every job this runner executes
+        self.retry_policy = policy
 
     @property
     def _pool(self) -> WorkerPool:
@@ -100,16 +129,22 @@ class ParallelJobRunner:
             _account_partitions(source, metrics)
             for split in source.splits(self.splits_per_input):
                 tasks.append((source.tag, split))
-        spill_dir = tempfile.mkdtemp(prefix="manimal-shuffle-")
+        # The pid stamp lets the engine's orphan reaper attribute a
+        # leftover spill dir to its (possibly dead) creating process.
+        spill_dir = tempfile.mkdtemp(prefix=f"manimal-shuffle-{os.getpid()}-")
         state = _JobState(
             conf=conf,
             tasks=tasks,
             spill_dir=spill_dir,
             sort_runs=conf.reducer is not None,
+            # Captured at submit time so the plan rides the pickled state
+            # into long-lived pool workers (env-only propagation would
+            # miss workers forked before the plan existed).
+            faults=faults.current_plan(),
         )
         try:
             map_results, reduce_results = self._pool.run_job(
-                state, self.num_workers
+                state, self.num_workers, policy=self.retry_policy
             )
 
             # Deterministic rollup: map deltas in task order, reduce
@@ -147,7 +182,7 @@ class ParallelJobRunner:
 
 
 def resolve_runner(knob: Any = None, conf: Optional[JobConf] = None,
-                   default: Any = None) -> Any:
+                   default: Any = None, engine: Optional[Any] = None) -> Any:
     """Turn a runner knob into a runner instance.
 
     The knob is accepted uniformly by :func:`~repro.mapreduce.run_job`,
@@ -162,6 +197,13 @@ def resolve_runner(knob: Any = None, conf: Optional[JobConf] = None,
     * ``int`` *n*    -- *n* workers (1 = sequential, 0 = auto-detect);
     * ``"local"`` / ``"parallel"`` -- runner by name;
     * an object with ``run(conf)`` -- returned unchanged.
+
+    ``engine`` pins any runner *constructed here* to a specific
+    :class:`~repro.engine.service.ExecutionEngine` (its worker pool,
+    health ledger and retry counters) instead of the process-wide one --
+    a system created over a private engine must not run its jobs, or
+    charge its failures, on the global pool.  Pre-built runner instances
+    (``default`` or a runner knob) are returned as configured.
     """
     if knob is None:
         if conf is not None and conf.parallelism is not None:
@@ -169,7 +211,8 @@ def resolve_runner(knob: Any = None, conf: Optional[JobConf] = None,
             # execution, overriding even a parallel default runner.
             if conf.parallelism == 1:
                 return LocalJobRunner()
-            return ParallelJobRunner(num_workers=conf.parallelism)
+            return ParallelJobRunner(num_workers=conf.parallelism,
+                                     engine=engine)
         if default is not None:
             return default
         from repro.mapreduce.runtime import DEFAULT_RUNNER
@@ -180,13 +223,13 @@ def resolve_runner(knob: Any = None, conf: Optional[JobConf] = None,
     if isinstance(knob, int):
         if knob < 0:
             raise JobConfigError("parallelism must be >= 0 (0 = auto)")
-        return ParallelJobRunner(num_workers=knob) if knob != 1 \
-            else LocalJobRunner()
+        return ParallelJobRunner(num_workers=knob, engine=engine) \
+            if knob != 1 else LocalJobRunner()
     if isinstance(knob, str):
         if knob == "local":
             return LocalJobRunner()
         if knob == "parallel":
-            return ParallelJobRunner()
+            return ParallelJobRunner(engine=engine)
         raise JobConfigError(
             f"unknown runner {knob!r}; expected 'local' or 'parallel'"
         )

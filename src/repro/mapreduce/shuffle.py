@@ -39,7 +39,8 @@ from itertools import chain
 from operator import itemgetter
 from typing import Any, Iterable, Iterator, List, Tuple
 
-from repro.exceptions import JobExecutionError
+from repro import faults
+from repro.exceptions import JobExecutionError, TransientTaskError
 from repro.mapreduce.keyspace import sort_key
 
 #: Pickle protocol for spill files (private, same-interpreter lifetime).
@@ -50,14 +51,26 @@ DECORATION_KEY = itemgetter(0)
 
 
 def run_path(spill_dir: str, phase: str, task_index: int,
-             partition: int) -> str:
-    """Canonical file name for one run: ``<phase>-t<task>-p<partition>``."""
-    return os.path.join(spill_dir, f"{phase}-t{task_index}-p{partition}.run")
+             partition: int, attempt: int = 0) -> str:
+    """Canonical file name for one run: ``<phase>-t<task>-p<partition>``.
+
+    Retried attempts (``attempt > 0``) get attempt-suffixed names, which
+    is what quarantines a killed attempt's partial output: a retry never
+    opens a path its dead sibling may have half-written, and only the
+    paths returned by the *successful* attempt reach the merge.
+    """
+    stem = f"{phase}-t{task_index}-p{partition}"
+    if attempt:
+        stem += f"-a{attempt}"
+    return os.path.join(spill_dir, f"{stem}.run")
 
 
 def write_run(path: str, pairs: Iterable[Tuple[Any, ...]]) -> str:
     """Spill one run of (decorated or plain) pairs to ``path``."""
     try:
+        # Inside the try so injected disk-full/I/O faults surface as
+        # retryable, exactly like the real OSErrors they simulate.
+        faults.fault_point("shuffle.spill", path=path)
         with open(path, "wb") as f:
             pickle.dump(list(pairs), f, protocol=SPILL_PROTOCOL)
     except (pickle.PicklingError, TypeError, AttributeError) as exc:
@@ -66,6 +79,12 @@ def write_run(path: str, pairs: Iterable[Tuple[Any, ...]]) -> str:
             f"value is not picklable ({exc}); parallel execution needs "
             "picklable intermediate pairs -- fall back to the sequential "
             "runner for this job"
+        ) from exc
+    except OSError as exc:
+        # Disk full / transient I/O while spilling: the task may succeed
+        # on re-execution, so surface it as retryable instead of fatal.
+        raise TransientTaskError(
+            f"spill of shuffle run {os.path.basename(path)!r} failed: {exc}"
         ) from exc
     return path
 

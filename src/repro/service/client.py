@@ -21,6 +21,7 @@ overload.
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
@@ -58,8 +59,14 @@ class ServiceError(ReproError):
 
 def connect(host: str = "127.0.0.1", port: int = 0, tenant: str = "default",
             timeout: Optional[float] = 60.0,
-            busy_retries: int = 8) -> "RemoteSession":
+            busy_retries: int = 8,
+            busy_wait_cap: float = 30.0) -> "RemoteSession":
     """Open a connection and return a Session-like remote handle.
+
+    Retryable (busy/transient) rejections are retried with jittered
+    exponential backoff, bounded both by ``busy_retries`` attempts and
+    ``busy_wait_cap`` total elapsed seconds -- whichever trips first
+    surfaces the error.
 
     ::
 
@@ -68,17 +75,20 @@ def connect(host: str = "127.0.0.1", port: int = 0, tenant: str = "default",
             rows = pages.filter(col("rank") > 990).collect()
     """
     return RemoteSession(host, port, tenant, timeout=timeout,
-                         busy_retries=busy_retries)
+                         busy_retries=busy_retries,
+                         busy_wait_cap=busy_wait_cap)
 
 
 class RemoteSession:
     """One tenant's blocking connection to a :class:`QueryServer`."""
 
     def __init__(self, host: str, port: int, tenant: str,
-                 timeout: Optional[float] = 60.0, busy_retries: int = 8):
+                 timeout: Optional[float] = 60.0, busy_retries: int = 8,
+                 busy_wait_cap: float = 30.0):
         self.tenant = tenant
         self.timeout = timeout
         self.busy_retries = busy_retries
+        self.busy_wait_cap = busy_wait_cap
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         hello = self.call({"op": "hello"})
@@ -109,15 +119,27 @@ class RemoteSession:
         return response
 
     def _call_with_backoff(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        """``call`` retrying retryable (admission) errors with backoff."""
+        """``call`` retrying retryable errors with jittered backoff.
+
+        The sleep is drawn uniformly from ``[delay/2, delay]`` ("equal
+        jitter"): clients that were rejected together at one admission
+        spike spread their resubmissions out instead of thundering back
+        in lockstep.  Total waiting is capped by ``busy_wait_cap``
+        elapsed seconds, so a persistently overloaded server surfaces
+        a bounded-latency error rather than an unbounded stall.
+        """
         delay = 0.05
+        started = time.monotonic()
         for attempt in range(self.busy_retries + 1):
             try:
                 return self.call(dict(request))
             except ServiceError as exc:
                 if not exc.retryable or attempt == self.busy_retries:
                     raise
-            time.sleep(delay)
+                remaining = self.busy_wait_cap - (time.monotonic() - started)
+                if remaining <= 0:
+                    raise
+            time.sleep(min(random.uniform(delay / 2, delay), remaining))
             delay = min(delay * 2, 2.0)
         raise AssertionError("unreachable")
 

@@ -25,9 +25,14 @@ import base64
 import json
 import socket
 import struct
-from typing import Any, Dict, Optional
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Dict, Optional, Tuple
 
-from repro.exceptions import ReproError
+from repro.exceptions import (
+    DeadlineExceededError,
+    ReproError,
+    TransientTaskError,
+)
 
 #: Protocol revision, exchanged in ``hello``.
 PROTOCOL_VERSION = 1
@@ -45,9 +50,11 @@ ERR_EXECUTION = "execution-error"     # the query itself failed
 ERR_SHUTTING_DOWN = "shutting-down"   # server is draining
 ERR_UNKNOWN_JOB = "unknown-job"       # job id not found for this tenant
 ERR_UNKNOWN_OP = "unknown-op"
+ERR_TRANSIENT = "transient"           # infra failure: retry may succeed
+ERR_DEADLINE = "deadline-exceeded"    # request deadline passed: do not retry
 
 #: Codes for which a retry may succeed.
-RETRYABLE_CODES = frozenset({ERR_BUSY})
+RETRYABLE_CODES = frozenset({ERR_BUSY, ERR_TRANSIENT})
 
 
 class ProtocolError(ReproError):
@@ -63,9 +70,9 @@ def decode_bytes(text: str) -> bytes:
     return base64.b64decode(text.encode("ascii"))
 
 
-def send_frame(sock: socket.socket, message: Dict[str, Any],
-               max_frame: int = MAX_FRAME_BYTES) -> None:
-    """Serialize and send one length-prefixed JSON frame."""
+def encode_frame(message: Dict[str, Any],
+                 max_frame: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialize one message to its on-wire bytes (prefix + payload)."""
     try:
         payload = json.dumps(message, separators=(",", ":"),
                              sort_keys=True).encode("utf-8")
@@ -75,7 +82,13 @@ def send_frame(sock: socket.socket, message: Dict[str, Any],
         raise ProtocolError(
             f"frame of {len(payload)} bytes exceeds the {max_frame}-byte cap"
         )
-    sock.sendall(_LEN.pack(len(payload)) + payload)
+    return _LEN.pack(len(payload)) + payload
+
+
+def send_frame(sock: socket.socket, message: Dict[str, Any],
+               max_frame: int = MAX_FRAME_BYTES) -> None:
+    """Serialize and send one length-prefixed JSON frame."""
+    sock.sendall(encode_frame(message, max_frame))
 
 
 def recv_frame(sock: socket.socket,
@@ -133,3 +146,38 @@ def error_response(code: str, message: str,
         "ok": False,
         "error": {"code": code, "message": message, "retryable": retryable},
     }
+
+
+def is_transient_failure(exc: BaseException) -> bool:
+    """Did this failure come from infrastructure rather than the query?
+
+    Walks the cause/context chain looking for the execution fabric's
+    retryable classes -- :class:`~repro.exceptions.TransientTaskError`
+    (spill disk-full, exhausted crash-recovery attempts) or a raw
+    ``BrokenProcessPool`` (worker loss with recovery disabled).  A
+    deterministic user-code failure never matches: replaying it would
+    fail identically.
+    """
+    seen: set = set()
+    current: Optional[BaseException] = exc
+    while current is not None and id(current) not in seen:
+        seen.add(id(current))
+        if isinstance(current, (TransientTaskError, BrokenProcessPool)):
+            return True
+        current = current.__cause__ or current.__context__
+    return False
+
+
+def classify_error(exc: BaseException) -> Tuple[str, bool]:
+    """Map a job failure to its protocol ``(code, retryable)`` pair.
+
+    The structured taxonomy clients program against: deadline expiry is
+    permanent (the same work under the same deadline times out again),
+    infrastructure failures are retryable, everything else is a
+    permanent execution error.
+    """
+    if isinstance(exc, DeadlineExceededError):
+        return ERR_DEADLINE, False
+    if is_transient_failure(exc):
+        return ERR_TRANSIENT, True
+    return ERR_EXECUTION, False

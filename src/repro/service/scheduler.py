@@ -35,7 +35,7 @@ from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Deque, Dict, List, Optional
 
-from repro.exceptions import ReproError
+from repro.exceptions import DeadlineExceededError, ReproError
 
 #: Job states, in lifecycle order.
 QUEUED = "queued"
@@ -58,7 +58,8 @@ class QueryJob:
     """One scheduled unit of work and its observable lifecycle."""
 
     def __init__(self, job_id: str, tenant: str,
-                 fn: Callable[[], Any], label: str = ""):
+                 fn: Callable[[], Any], label: str = "",
+                 deadline_seconds: Optional[float] = None):
         self.job_id = job_id
         self.tenant = tenant
         self.label = label
@@ -69,7 +70,18 @@ class QueryJob:
         self.submitted_at = time.monotonic()
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
+        #: seconds after submission by which the job must have been
+        #: dispatched; expired jobs fail with DeadlineExceededError
+        #: instead of occupying an in-flight slot.
+        self.deadline_seconds = deadline_seconds
         self._done = threading.Event()
+
+    def deadline_expired(self, now: Optional[float] = None) -> bool:
+        if self.deadline_seconds is None:
+            return False
+        if now is None:
+            now = time.monotonic()
+        return now - self.submitted_at > self.deadline_seconds
 
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until the job reaches a terminal state."""
@@ -100,6 +112,8 @@ class QueryJob:
             view["queue_seconds"] = round(self.queue_seconds, 6)
         if self.run_seconds is not None:
             view["run_seconds"] = round(self.run_seconds, 6)
+        if self.deadline_seconds is not None:
+            view["deadline_seconds"] = self.deadline_seconds
         if self.error is not None:
             view["error_message"] = str(self.error)
         return view
@@ -145,13 +159,22 @@ class FairScheduler:
         self.completed = 0
         self.failed = 0
         self.rejected = 0
+        self.expired = 0
         self._dispatched: Dict[str, int] = {}
 
     # -- admission -----------------------------------------------------------
 
     def submit(self, tenant: str, fn: Callable[[], Any],
-               label: str = "") -> QueryJob:
+               label: str = "",
+               deadline_seconds: Optional[float] = None) -> QueryJob:
         """Queue one job for ``tenant``; dispatch if a slot is free.
+
+        ``deadline_seconds`` bounds how long the job may sit queued: a
+        job whose deadline passes before dispatch fails with
+        :class:`~repro.exceptions.DeadlineExceededError` rather than
+        running late (the client already gave up on the answer).
+        Running jobs are not preempted -- their worker-level tasks are
+        bounded by the engine's own task deadlines.
 
         :raises AdmissionError: queue full (retryable) or scheduler
             draining (not retryable).
@@ -174,7 +197,8 @@ class FairScheduler:
                     f"tenant {tenant!r} queue is full "
                     f"({self.max_queue_depth} jobs); retry with backoff"
                 )
-            job = QueryJob(f"q{next(self._seq)}", tenant, fn, label=label)
+            job = QueryJob(f"q{next(self._seq)}", tenant, fn, label=label,
+                           deadline_seconds=deadline_seconds)
             queue.append(job)
             self.submitted += 1
             self._pump()
@@ -205,6 +229,20 @@ class FairScheduler:
             job = self._next_job()
             if job is None:
                 return
+            if job.deadline_expired():
+                # Expired while queued: fail it without burning a slot.
+                job.error = DeadlineExceededError(
+                    f"job {job.job_id} waited "
+                    f"{time.monotonic() - job.submitted_at:.3f}s in queue, "
+                    f"past its {job.deadline_seconds}s deadline"
+                )
+                job.state = ERROR
+                job.finished_at = time.monotonic()
+                self.failed += 1
+                self.expired += 1
+                job._done.set()
+                self._idle.notify_all()
+                continue
             self._in_flight += 1
             job.state = RUNNING
             job.started_at = time.monotonic()
@@ -290,6 +328,7 @@ class FairScheduler:
                 "completed": self.completed,
                 "failed": self.failed,
                 "rejected": self.rejected,
+                "expired": self.expired,
                 "dispatched_by_tenant": dict(self._dispatched),
                 "weights": {
                     t: self._weight(t) for t in self._order

@@ -37,8 +37,10 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 from typing import Any, Dict, Optional, Tuple
 
+from repro import faults
 from repro.api.remote import apply_ops
 from repro.engine.service import ExecutionEngine, get_engine
 from repro.exceptions import ReproError
@@ -46,15 +48,17 @@ from repro.service.payload import serialize_rows
 from repro.service.protocol import (
     ERR_BAD_REQUEST,
     ERR_BUSY,
-    ERR_EXECUTION,
     ERR_SHUTTING_DOWN,
     ERR_UNKNOWN_JOB,
     ERR_UNKNOWN_OP,
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
     ProtocolError,
+    classify_error,
     encode_bytes,
+    encode_frame,
     error_response,
+    is_transient_failure,
     recv_frame,
     send_frame,
 )
@@ -108,6 +112,15 @@ class QueryServer:
     :param result_cache_bytes: result-cache budget; 0 disables caching.
     :param engine: the shared engine to run on (defaults to the
         process-wide one).
+    :param engine_retries: server-side retries of a *read-only* job that
+        failed for an engine-transient reason (worker loss, spill
+        disk-full) -- see ``docs/robustness.md``.  Writes and index
+        builds are never retried automatically (they mutate state).
+    :param retry_backoff: base seconds between those retries (doubles
+        per retry).
+    :param default_deadline: default queue deadline (seconds) applied to
+        submissions that don't carry their own ``deadline_seconds``
+        option; ``None`` = no deadline.
     :param session_kwargs: forwarded to each tenant ``Session``
         (e.g. ``parallelism``, ``cost_based``).
     """
@@ -118,8 +131,17 @@ class QueryServer:
                  weights: Optional[Dict[str, int]] = None,
                  result_cache_bytes: Optional[int] = None,
                  engine: Optional[ExecutionEngine] = None,
+                 engine_retries: int = 2,
+                 retry_backoff: float = 0.05,
+                 default_deadline: Optional[float] = None,
                  **session_kwargs: Any):
         self.data_root = data_root
+        self.engine_retries = max(0, engine_retries)
+        self.retry_backoff = retry_backoff
+        self.default_deadline = default_deadline
+        #: transient job failures recovered by server-side retry
+        self.jobs_retried = 0
+        self._retry_lock = threading.Lock()
         self._engine = engine if engine is not None else get_engine()
         session_kwargs.setdefault("engine", self._engine)
         self.tenants = TenantRegistry(data_root, **session_kwargs)
@@ -236,7 +258,17 @@ class QueryServer:
                         ERR_BAD_REQUEST, f"internal error: {exc}"
                     )
                 try:
-                    send_frame(conn, response)
+                    blob = encode_frame(response)
+                    fault = faults.fault_point(
+                        "service.send_frame", op=request.get("op")
+                    )
+                    if fault is not None:
+                        # Chaos-test hook: tear this response the way a
+                        # crashed or partitioned server would.
+                        if fault.action == "truncate_frame":
+                            conn.sendall(blob[:max(1, len(blob) // 2)])
+                        return  # drop_frame sends nothing at all
+                    conn.sendall(blob)
                 except (ProtocolError, OSError):
                     return
 
@@ -327,11 +359,17 @@ class QueryServer:
             "scheduler": options.get("scheduler"),
         }
         results = self.results
+        # Index-building runs mutate the catalog, so only pure reads are
+        # eligible for automatic server-side retry.
+        retries = 0 if build_indexes else self.engine_retries
 
         def run_query() -> bytes:
-            with state.lock:
-                dataset = apply_ops(state.session, ops)
-                result = state.session.run(dataset, **run_options)
+            result = self._run_with_retries(
+                lambda: state.session.run(
+                    apply_ops(state.session, ops), **run_options
+                ),
+                state.lock, retries,
+            )
             payload = serialize_rows(result.rows)
             if results is not None and cache_key is not None:
                 # Stored under the admission-time key: if the catalog
@@ -341,11 +379,46 @@ class QueryServer:
             return payload
 
         job = self.scheduler.submit(
-            state.tenant, run_query, label=request.get("label", "")
+            state.tenant, run_query, label=request.get("label", ""),
+            deadline_seconds=self._deadline_of(options),
         )
         self._register(_JobEntry(state.tenant, "query", job=job))
         return {"ok": True, "job_id": job.job_id, "state": job.state,
                 "cached": False}
+
+    def _deadline_of(self, options: Dict[str, Any]) -> Optional[float]:
+        deadline = options.get("deadline_seconds", self.default_deadline)
+        if deadline is None:
+            return None
+        try:
+            deadline = float(deadline)
+        except (TypeError, ValueError):
+            return self.default_deadline
+        return deadline if deadline > 0 else None
+
+    def _run_with_retries(self, thunk: Any, lock: threading.Lock,
+                          retries: int) -> Any:
+        """Run ``thunk`` under ``lock``, retrying engine-transient
+        failures with exponential backoff.
+
+        The worker pool already recovers individual task failures; this
+        outer loop catches whole-*job* infrastructure failures that leak
+        past it (recovery budget exhausted, pool broken with recovery
+        disabled).  Deterministic query errors are never retried --
+        :func:`~repro.service.protocol.is_transient_failure` decides.
+        """
+        attempt = 0
+        while True:
+            try:
+                with lock:
+                    return thunk()
+            except Exception as exc:  # noqa: BLE001 -- filtered below
+                if attempt >= retries or not is_transient_failure(exc):
+                    raise
+                attempt += 1
+                with self._retry_lock:
+                    self.jobs_retried += 1
+                time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
 
     def _submit_write(self, state: TenantState, ops: list,
                       options: Dict[str, Any],
@@ -368,7 +441,13 @@ class QueryServer:
                 )
             return serialize_rows({"path": target})
 
-        job = self.scheduler.submit(state.tenant, run_write, label="write")
+        # Writes are not retried server-side: a failed write may have
+        # partially mutated the tenant data dir, and replaying it blind
+        # could double-apply; the client decides.
+        job = self.scheduler.submit(
+            state.tenant, run_write, label="write",
+            deadline_seconds=self._deadline_of(options),
+        )
         self._register(_JobEntry(state.tenant, "write", job=job))
         return {"ok": True, "job_id": job.job_id, "state": job.state,
                 "cached": False, "path": target}
@@ -434,9 +513,10 @@ class QueryServer:
             view["ok"] = True
             return view
         if entry.job.state == ERROR:
-            return error_response(
-                ERR_EXECUTION, str(entry.job.error), retryable=False
-            )
+            error = entry.job.error
+            assert error is not None
+            code, retryable = classify_error(error)
+            return error_response(code, str(error), retryable=retryable)
         payload = entry.payload
         if payload is None:
             payload = entry.job.result
@@ -516,6 +596,11 @@ class QueryServer:
             "result_cache": (
                 self.results.stats() if self.results is not None else None
             ),
+            "resilience": {
+                "engine_retries": self.engine_retries,
+                "jobs_retried": self.jobs_retried,
+                "default_deadline": self.default_deadline,
+            },
         }
         try:
             stats["engine"] = self._engine.stats()

@@ -12,6 +12,13 @@ from repro.storage.serialization import (
     Schema,
 )
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "chaos: deterministic fault-injection tests (run by the CI chaos job)",
+    )
+
+
 #: The paper's Section 2 WebPage schema, used throughout analyzer tests.
 WEBPAGE = Schema(
     "WebPage",
