@@ -44,6 +44,7 @@ from typing import (
 )
 
 from repro.api.expressions import Expr, selection_formula
+from repro.batch.shuffleblocks import aggregate_shuffle_spec
 from repro.batch.spec import PREAGG_OPS, BatchStageSpec
 from repro.core.analyzer.descriptors import (
     DeltaCompressionDescriptor,
@@ -772,6 +773,27 @@ class _Lowering:
                 )
                 conf.batch_specs[None] = bspec
                 descriptions.append(f"vectorized [{bspec.describe()}]")
+        if (
+            self.vectorize
+            and record_schema is not None
+            and record_schema.transparent
+        ):
+            # Independent of map-body describability: the shuffle format
+            # only needs the emitted key/value types, which this stage's
+            # synthesized tail fixes.  Lying upstream UDF schemas are
+            # safe -- the codecs type-check at spill time and reject the
+            # run back to the pickle path.
+            sspec = aggregate_shuffle_spec(
+                self._column_type(record_schema, node.group_column),
+                [
+                    (spec.op, self._column_type(record_schema, spec.column))
+                    for spec in specs
+                ],
+                agg_schema=out_value_schema if len(specs) > 1 else None,
+            )
+            if sspec is not None:
+                conf.shuffle_spec = sspec
+                descriptions.append(f"typed shuffle [{sspec.describe()}]")
         return StagePlan(
             conf=conf,
             hints=hints,

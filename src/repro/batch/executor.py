@@ -25,6 +25,7 @@ from typing import Any, List, Optional, Tuple
 
 from repro.batch.columns import build_scan_plan, iter_column_batches
 from repro.batch.kernels import compile_predicates
+from repro.batch.shuffleblocks import PREAGG_FN
 from repro.batch.spec import BatchStageSpec
 from repro.exceptions import JobExecutionError
 from repro.mapreduce.formats import (
@@ -38,12 +39,10 @@ from repro.storage.recordfile import RecordFileReader
 from repro.storage.serialization import Record
 
 #: Map-side partial accumulators for byte-identity-safe pre-aggregation
-#: (see :data:`~repro.batch.spec.PREAGG_OPS`).
-_PREAGG_FN = {
-    "sum": lambda acc, value: acc + value,
-    "min": min,
-    "max": max,
-}
+#: (see :data:`~repro.batch.spec.PREAGG_OPS`).  One kernel family with
+#: the reduce-side block fold: :mod:`repro.batch.shuffleblocks` combines
+#: its per-slice partials through these same functions.
+_PREAGG_FN = PREAGG_FN
 
 
 def _split_location(split: Any) -> Optional[Tuple[str, Any]]:

@@ -175,6 +175,12 @@ class _JobState:
     #: workers write per-task heartbeat files (the crash/deadline
     #: monitor's progress signal); off when recovery is disabled.
     heartbeats: bool = True
+    #: typed-shuffle spec resolved at submit time (conf eligibility plus
+    #: the ``REPRO_TYPED_SHUFFLE`` kill switch); ``None`` keeps the whole
+    #: job on the pickle spill path.  Riding the state -- like the fault
+    #: plan -- makes every worker inherit the same decision regardless
+    #: of scheduling path.
+    shuffle_spec: Optional[Any] = None
 
 
 # -- heartbeats ---------------------------------------------------------------
@@ -207,8 +213,11 @@ def run_map_task(state: _JobState, task_index: int,
 
     Reducing jobs spill *decorated* sorted runs -- ``(sort_key, key,
     value)`` rows -- so the sort key computed here is the one the merge
-    heap and the reducer's grouping reuse.  Map-only jobs spill plain
-    pairs (their output is never sorted).
+    heap and the reducer's grouping reuse.  Jobs with a resolved
+    :class:`~repro.batch.shuffleblocks.ShuffleBlockSpec` spill typed
+    column blocks instead (encoded keys sorted as flat bytes), falling
+    back per run when a pair defeats the codecs.  Map-only jobs spill
+    plain pairs (their output is never sorted).
 
     ``attempt`` namespaces this execution's heartbeat and spill files:
     a retried task writes fresh run files instead of racing a killed
@@ -217,6 +226,9 @@ def run_map_task(state: _JobState, task_index: int,
     """
     tag, split = state.tasks[task_index]
     _touch_heartbeat(state, "map", task_index, attempt)
+    spec = state.shuffle_spec
+    if spec is not None:
+        from repro.batch import shuffleblocks
     with faults.activate(state.faults):
         faults.fault_point(
             "pool.map_task", task_index=task_index, attempt=attempt,
@@ -224,18 +236,33 @@ def run_map_task(state: _JobState, task_index: int,
         )
         task = execute_map_task(state.conf, tag, split)
         runs: Dict[int, str] = {}
+        spilled_bytes = 0
         for part, pairs in enumerate(task.partitions):
             if not pairs:
                 continue
+            path = shuffle.run_path(state.spill_dir, "map", task_index,
+                                    part, attempt=attempt)
+            written = None
             if state.sort_runs:
-                pairs = shuffle.sort_decorated_run(
-                    shuffle.decorate_pairs(pairs)
-                )
-            runs[part] = shuffle.write_run(
-                shuffle.run_path(state.spill_dir, "map", task_index, part,
-                                 attempt=attempt),
-                pairs,
-            )
+                if spec is not None:
+                    # Typed block spill; declines (None) when any pair
+                    # defeats the codecs, which drops just this run --
+                    # not the job -- back to the pickle format.
+                    written = shuffleblocks.spill_typed_run(
+                        path, pairs, spec
+                    )
+                if written is None:
+                    written = shuffle.write_run(
+                        path,
+                        shuffle.sort_decorated_run(
+                            shuffle.decorate_pairs(pairs)
+                        ),
+                    )
+            else:
+                written = shuffle.write_run(path, pairs)
+            runs[part] = written
+            spilled_bytes += os.path.getsize(written)
+        task.metrics.shuffle_bytes_spilled += spilled_bytes
     return task_index, runs, task.metrics, task.counters
 
 
@@ -248,16 +275,47 @@ def run_reduce_task(state: _JobState, partition: int, run_paths: List[str],
             "pool.reduce_task", partition=partition, attempt=attempt,
             job=state.conf.name,
         )
+        merged_bytes = sum(os.path.getsize(p) for p in run_paths)
         if state.sort_runs:
-            merged: Any = shuffle.merge_decorated_runs(run_paths)
-            reduced = execute_reduce_partition(
-                state.conf, merged, presorted=True, decorated=True
-            )
+            spec = state.shuffle_spec
+            if spec is not None:
+                from repro.batch import shuffleblocks
+
+                typed = [
+                    shuffleblocks.is_typed_run(p) for p in run_paths
+                ]
+            else:
+                typed = []
+            if spec is not None and all(typed):
+                # Streaming block merge + typed reduce (vectorized fold
+                # or generic, decided inside the shared chokepoint).
+                chunks = shuffleblocks.merge_typed_chunks(
+                    run_paths, spec, need_values=not spec.count_only
+                )
+                reduced = execute_reduce_partition(
+                    state.conf, chunks, presorted=True, shuffle_spec=spec
+                )
+            elif spec is not None and any(typed):
+                # Mixed formats (some runs fell back to pickle): decode
+                # typed runs into the decorated stream and merge all
+                # runs through the legacy stable heap.
+                merged: Any = shuffleblocks.merge_mixed_runs(
+                    run_paths, spec
+                )
+                reduced = execute_reduce_partition(
+                    state.conf, merged, presorted=True, decorated=True
+                )
+            else:
+                merged = shuffle.merge_decorated_runs(run_paths)
+                reduced = execute_reduce_partition(
+                    state.conf, merged, presorted=True, decorated=True
+                )
         else:
             merged = shuffle.merge_runs(run_paths, sorted_runs=False)
             reduced = execute_reduce_partition(
                 state.conf, merged, presorted=True
             )
+        reduced.metrics.shuffle_bytes_merged += merged_bytes
         out_path = shuffle.write_run(
             shuffle.run_path(state.spill_dir, "out", 0, partition,
                              attempt=attempt),
@@ -526,6 +584,11 @@ class WorkerPool:
         self.pool_rebuilds = 0
         self.jobs_degraded = 0
         self.consecutive_breaks = 0
+        #: shuffle data-plane volume (successful attempts only): bytes
+        #: of spill-run files written by map tasks / read back by
+        #: reduce-side merges, across every job this pool executed
+        self.shuffle_bytes_spilled = 0
+        self.shuffle_bytes_merged = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -592,6 +655,8 @@ class WorkerPool:
             "pool_rebuilds": self.pool_rebuilds,
             "jobs_degraded": self.jobs_degraded,
             "consecutive_breaks": self.consecutive_breaks,
+            "shuffle_bytes_spilled": self.shuffle_bytes_spilled,
+            "shuffle_bytes_merged": self.shuffle_bytes_merged,
         }
 
     # -- job execution -------------------------------------------------------
@@ -617,13 +682,24 @@ class WorkerPool:
         )
         if _FORK_CONTEXT is None or n_workers == 1 or unhealthy:
             self.jobs_inline += 1
-            return self._run_inline(state, policy)
-        blob = self._pickle_state(state)
-        if blob is None:
-            self.jobs_forked += 1
-            return self._run_forked(state, n_workers, policy)
-        self.jobs_pooled += 1
-        return self._run_pooled(state, blob, n_workers, policy)
+            results = self._run_inline(state, policy)
+        else:
+            blob = self._pickle_state(state)
+            if blob is None:
+                self.jobs_forked += 1
+                results = self._run_forked(state, n_workers, policy)
+            else:
+                self.jobs_pooled += 1
+                results = self._run_pooled(state, blob, n_workers, policy)
+        map_results, reduce_results = results
+        with self._lock:
+            # Data-plane observability (only successful attempts report
+            # results, so recovered jobs account like clean ones).
+            for result in map_results:
+                self.shuffle_bytes_spilled += result[2].shuffle_bytes_spilled
+            for result in reduce_results:
+                self.shuffle_bytes_merged += result[2].shuffle_bytes_merged
+        return results
 
     @staticmethod
     def _pickle_state(state: _JobState) -> Optional[bytes]:

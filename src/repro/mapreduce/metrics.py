@@ -58,6 +58,15 @@ class JobMetrics:
     reduce_output_records: int = 0
     reduce_output_bytes: int = 0
 
+    #: physical bytes of spill-run files written by map tasks and read
+    #: back by reduce-side merges.  Scheduling-path observables like
+    #: ``wall_seconds``: the sequential runner shuffles through memory
+    #: and reports zero, so differential suites exclude these (and
+    #: ``scaled()`` leaves them untouched); they make the spill format
+    #: -- typed blocks vs pickle frames -- visible per job.
+    shuffle_bytes_spilled: int = 0
+    shuffle_bytes_merged: int = 0
+
     #: wall-clock seconds of the local in-process run (not the simulation)
     wall_seconds: float = 0.0
 

@@ -120,6 +120,10 @@ class ParallelJobRunner:
         return self._engine.pool
 
     def run(self, conf: JobConf) -> JobResult:
+        # Runtime import: repro.batch pulls the fluent-API package in,
+        # which would cycle back through this module at import time.
+        from repro.batch import shuffleblocks
+
         start = time.perf_counter()
         metrics = JobMetrics()
         counters = Counters()
@@ -141,6 +145,8 @@ class ParallelJobRunner:
             # into long-lived pool workers (env-only propagation would
             # miss workers forked before the plan existed).
             faults=faults.current_plan(),
+            # Same submit-time capture for the typed-shuffle decision.
+            shuffle_spec=shuffleblocks.active_spec(conf),
         )
         try:
             map_results, reduce_results = self._pool.run_job(

@@ -214,10 +214,30 @@ def _finish_map_task(
     partitions = out.partitions
     shuffle_bytes = 0
     shuffle_key_bytes = 0
-    for key, value, key_size, value_size in sized:
-        partitions[partition(key, n_reducers)].append((key, value))
-        shuffle_key_bytes += key_size
-        shuffle_bytes += key_size + value_size
+    if conf.shuffle_spec is not None:
+        # Described-aggregate stages shuffle a small set of primitive
+        # group keys repeated across many pairs: memoize the hash route
+        # so stable_hash runs once per distinct key, not once per pair.
+        # Routing is a pure function of the key, and both runners share
+        # this tail, so sequential/parallel identity is untouched.
+        routes: dict = {}
+        for key, value, key_size, value_size in sized:
+            try:
+                part = routes[key]
+            except KeyError:
+                part = routes[key] = partition(key, n_reducers)
+            except TypeError:
+                # Unhashable key from a lying UDF schema: route it the
+                # slow way; the spill codecs will reject it later.
+                part = partition(key, n_reducers)
+            partitions[part].append((key, value))
+            shuffle_key_bytes += key_size
+            shuffle_bytes += key_size + value_size
+    else:
+        for key, value, key_size, value_size in sized:
+            partitions[partition(key, n_reducers)].append((key, value))
+            shuffle_key_bytes += key_size
+            shuffle_bytes += key_size + value_size
     metrics.shuffle_records += len(sized)
     metrics.shuffle_key_bytes += shuffle_key_bytes
     metrics.shuffle_bytes += shuffle_bytes
@@ -258,6 +278,7 @@ def execute_reduce_partition(
     pairs: Iterable[Tuple[Any, ...]],
     presorted: bool = False,
     decorated: bool = False,
+    shuffle_spec: Optional[Any] = None,
 ) -> ReduceTaskResult:
     """Run the reduce side of one partition.
 
@@ -269,7 +290,18 @@ def execute_reduce_partition(
     marks a stream of ``(sort_key, key, value)`` rows as spilled by the
     parallel shuffle, so no sort key is ever recomputed.  Map-only jobs
     pass records through untouched, preserving arrival order.
+
+    With ``shuffle_spec`` set (parallel runner, every run of the
+    partition spilled as typed blocks), ``pairs`` is the streaming block
+    merge's chunk iterator and the typed reduce path of
+    :mod:`repro.batch.shuffleblocks` serves the partition -- the same
+    decision chokepoint the batch map path uses, so every scheduler
+    stays byte-identical by construction.
     """
+    if shuffle_spec is not None:
+        from repro.batch import shuffleblocks
+
+        return shuffleblocks.reduce_typed_chunks(conf, shuffle_spec, pairs)
     out = ReduceTaskResult(outputs=[])
     metrics = out.metrics
 

@@ -26,8 +26,14 @@ Determinism contract (see ``docs/execution-model.md``):
   in task order, because the sequential runner never sorts map-only
   output.
 
-Run files are pickle streams in a job-private temporary directory; they
-exist only between the two phases of one run() call.
+Run files are sequences of bounded pickle frames (at most
+:data:`SPILL_CHUNK_PAIRS` pairs each) in a job-private temporary
+directory; they exist only between the two phases of one run() call.
+Readers stream frame by frame (:func:`iter_run`), so a k-way merge
+buffers one frame per run instead of materializing every run -- the
+pickle path's counterpart to the typed block format's bounded merge
+(:mod:`repro.batch.shuffleblocks`, used when the stage's shuffle types
+are analyzer-described).
 """
 
 from __future__ import annotations
@@ -45,6 +51,10 @@ from repro.mapreduce.keyspace import sort_key
 
 #: Pickle protocol for spill files (private, same-interpreter lifetime).
 SPILL_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+#: Pairs per pickle frame in a spill file: bounds both the writer's
+#: frame size and the memory a streaming reader holds per run.
+SPILL_CHUNK_PAIRS = 2048
 
 #: Reads the precomputed sort key out of a decorated (skey, key, value).
 DECORATION_KEY = itemgetter(0)
@@ -66,13 +76,22 @@ def run_path(spill_dir: str, phase: str, task_index: int,
 
 
 def write_run(path: str, pairs: Iterable[Tuple[Any, ...]]) -> str:
-    """Spill one run of (decorated or plain) pairs to ``path``."""
+    """Spill one run of (decorated or plain) pairs to ``path``.
+
+    Written as a sequence of bounded pickle frames so readers can stream
+    the run back without loading it whole; an empty run is an empty file
+    (zero frames).
+    """
     try:
         # Inside the try so injected disk-full/I/O faults surface as
         # retryable, exactly like the real OSErrors they simulate.
         faults.fault_point("shuffle.spill", path=path)
+        if not isinstance(pairs, list):
+            pairs = list(pairs)
         with open(path, "wb") as f:
-            pickle.dump(list(pairs), f, protocol=SPILL_PROTOCOL)
+            for start in range(0, len(pairs), SPILL_CHUNK_PAIRS):
+                pickle.dump(pairs[start:start + SPILL_CHUNK_PAIRS], f,
+                            protocol=SPILL_PROTOCOL)
     except (pickle.PicklingError, TypeError, AttributeError) as exc:
         raise JobExecutionError(
             f"cannot spill shuffle run {os.path.basename(path)!r}: a key or "
@@ -89,10 +108,25 @@ def write_run(path: str, pairs: Iterable[Tuple[Any, ...]]) -> str:
     return path
 
 
+def iter_run(path: str) -> Iterator[Tuple[Any, ...]]:
+    """Stream one spilled run frame by frame (bounded memory).
+
+    At most one :data:`SPILL_CHUNK_PAIRS`-sized frame is resident per
+    consumer, which is what keeps the k-way merges below from
+    materializing every run of a partition at once.
+    """
+    with open(path, "rb") as f:
+        while True:
+            try:
+                chunk = pickle.load(f)
+            except EOFError:
+                return
+            yield from chunk
+
+
 def read_run(path: str) -> List[Tuple[Any, ...]]:
     """Load one spilled run back into memory."""
-    with open(path, "rb") as f:
-        return pickle.load(f)
+    return list(iter_run(path))
 
 
 def decorate_pairs(
@@ -133,9 +167,11 @@ def merge_decorated_runs(
     key ties toward earlier iterables, so the merged stream equals a
     stable sort of the task-order concatenation -- the exact stream the
     sequential runner reduces.  The heap compares precomputed
-    decorations; ``sort_key`` is never re-derived.
+    decorations; ``sort_key`` is never re-derived.  Runs are streamed
+    (:func:`iter_run`), so memory is bounded by one pickle frame per run
+    rather than the partition's full volume.
     """
-    runs = [read_run(path) for path in paths]
+    runs = [iter_run(path) for path in paths]
     return heapq.merge(*runs, key=DECORATION_KEY)
 
 
@@ -148,11 +184,14 @@ def merge_runs(paths: List[str], sorted_runs: bool = True
     decorated on read and merged through the same machinery as
     :func:`merge_decorated_runs`, so the ordering contract has a single
     implementation.  The reducing fast path spills decorated runs and
-    uses :func:`merge_decorated_runs` directly.
+    uses :func:`merge_decorated_runs` directly.  Streamed like the
+    decorated merge: one pickle frame per run resident at a time.
     """
-    runs = [read_run(path) for path in paths]
+    runs = [iter_run(path) for path in paths]
     if not sorted_runs:
         return chain.from_iterable(runs)
-    decorated = [decorate_pairs(run) for run in runs]
+    decorated = [
+        ((sort_key(key), key, value) for key, value in run) for run in runs
+    ]
     merged = heapq.merge(*decorated, key=DECORATION_KEY)
     return ((key, value) for _skey, key, value in merged)
