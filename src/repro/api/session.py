@@ -23,9 +23,9 @@ from repro.api.dataset import Dataset, DatasetResult
 from repro.api.plan import FLUENT_KB, LoweredPlan, ScanNode, lower_plan
 from repro.core.analyzer.analyzer import peek_schemas
 from repro.core.analyzer.descriptors import JobAnalysis
-from repro.core.manimal import Manimal
+from repro.core.manimal import Manimal, ManimalResult
 from repro.core.optimizer.catalog import DatasetEntry, IndexEntry
-from repro.core.pipeline import ManimalPipeline
+from repro.core.pipeline import ManimalPipeline, StageOutcome
 from repro.exceptions import JobConfigError, SerializationError
 from repro.mapreduce.formats import RecordFileInput
 from repro.mapreduce.runtime import _coerce
@@ -209,6 +209,45 @@ class Session:
         )
         return DatasetResult(plan=plan, stages=outcomes)
 
+    def run_many(self, datasets: Sequence[Dataset],
+                 parallelism: Optional[int] = None,
+                 scheduler: Optional[str] = None) -> List[DatasetResult]:
+        """Execute several Datasets, sharing scans where compatible.
+
+        Queries whose first (scan) stages target the same concrete input
+        file -- after the optimizer's input substitution, so projection
+        pushdown is respected -- execute as **one** fused pass that
+        decodes the union of their columns once (see
+        :mod:`repro.batch.multiscan`).  Every other query, and every
+        later stage of shared queries, runs through the exact solo path
+        :meth:`run` uses, so each returned
+        :class:`~repro.api.dataset.DatasetResult` is byte-identical to
+        running that Dataset alone.
+        """
+        plans = [self.lower(dataset) for dataset in datasets]
+        return run_shared_plans(
+            [(self, plan) for plan in plans],
+            parallelism=parallelism, scheduler=scheduler,
+        )
+
+    def explain_many(self, datasets: Sequence[Dataset]) -> str:
+        """The shared-scan grouping :meth:`run_many` would choose."""
+        from repro.batch.multiscan import plan_shared_groups
+
+        plans = [self.lower(dataset, name=f"explain-q{i}")
+                 for i, dataset in enumerate(datasets)]
+        candidates = []
+        for plan in plans:
+            stage0 = plan.stages[0]
+            descriptor = self.system.plan(stage0.conf, stage0.hints)
+            optimized = stage0.conf.with_inputs(descriptor.chosen_inputs())
+            optimized.shuffle_filter = descriptor.shuffle_filter
+            candidates.append(optimized)
+        report = plan_shared_groups(candidates)
+        lines = [f"shared-scan plan for {len(plans)} queries:"]
+        lines.append(report.describe())
+        return "\n".join(lines).rstrip() + "\n"
+
     def write(self, dataset: Dataset, path: str,
               build_indexes: bool = False,
               parallelism: Optional[int] = None,
@@ -361,3 +400,97 @@ class Session:
 
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
+
+
+def run_shared_plans(
+    items: Sequence[tuple],
+    parallelism: Optional[int] = None,
+    scheduler: Optional[str] = None,
+) -> List[DatasetResult]:
+    """Execute ``(session, plan)`` pairs, fusing compatible scan stages.
+
+    The cross-session core of :meth:`Session.run_many`: the query
+    service uses it directly so queries from *different tenants'*
+    sessions (each with its own catalog and scratch space) can still
+    share one pass over a common hot file.  Only each plan's first stage
+    -- the one scanning the shared base input -- is a fusion candidate;
+    it is planned exactly as :meth:`Manimal.execute
+    <repro.core.manimal.Manimal.execute>` would (optimizer input
+    substitution plus shuffle filter), grouped by
+    :func:`repro.batch.multiscan.plan_shared_groups`, and any remaining
+    stages (and every non-candidate plan) run the unchanged solo path.
+    All sessions must share one engine; a session on a different engine
+    simply runs solo.
+    """
+    from repro.batch.multiscan import plan_shared_groups, run_shared_group
+    from repro.mapreduce.parallel import LocalJobRunner, resolve_runner
+
+    if not items:
+        return []
+    engine = items[0][0].engine
+    prepared: List[Optional[tuple]] = []
+    for session, plan in items:
+        if session.engine is not engine:
+            prepared.append(None)
+            continue
+        stage0 = plan.stages[0]
+        descriptor = session.system.plan(stage0.conf, stage0.hints)
+        optimized = stage0.conf.with_inputs(descriptor.chosen_inputs())
+        optimized.shuffle_filter = descriptor.shuffle_filter
+        prepared.append((descriptor, optimized))
+    report = plan_shared_groups(
+        [None if p is None else p[1] for p in prepared]
+    )
+
+    stage0_results: dict = {}
+    for group in report.groups:
+        leader_session = items[group.members[0].index][0]
+        leader_conf = prepared[group.members[0].index][1]
+        runner = resolve_runner(
+            parallelism, conf=leader_conf,
+            default=leader_session.system.runner, engine=engine,
+        )
+        if isinstance(runner, LocalJobRunner):
+            num_workers, splits, policy = 1, 10, None
+        else:
+            num_workers = getattr(runner, "num_workers", 1)
+            splits = getattr(runner, "splits_per_input", 10)
+            policy = getattr(runner, "retry_policy", None)
+        fused = run_shared_group(
+            [prepared[m.index][1] for m in group.members],
+            pool=engine.pool, num_workers=num_workers,
+            splits_per_input=splits, policy=policy,
+        )
+        for member, result in zip(group.members, fused):
+            stage0_results[member.index] = result
+
+    results: List[DatasetResult] = []
+    for index, (session, plan) in enumerate(items):
+        job_result = stage0_results.get(index)
+        if job_result is None:
+            outcomes = session._pipeline_for(plan).submit(
+                runner=parallelism, scheduler=scheduler
+            )
+            results.append(DatasetResult(plan=plan, stages=outcomes))
+            continue
+        descriptor, _optimized = prepared[index]
+        stage0 = plan.stages[0]
+        stages = [StageOutcome(
+            conf=stage0.conf,
+            outcome=ManimalResult(
+                analysis=stage0.hints, index_programs=[],
+                built_indexes=[], descriptor=descriptor,
+                result=job_result,
+            ),
+        )]
+        links = session._pipeline_for(plan).links()
+        for i in range(1, len(plan.stages)):
+            stage = plan.stages[i]
+            outcome = session.system.submit(
+                stage.conf, analysis=stage.hints, runner=parallelism
+            )
+            stages.append(StageOutcome(
+                conf=stage.conf, outcome=outcome, upstream=links[i]
+            ))
+        results.append(DatasetResult(plan=plan, stages=stages))
+    return results

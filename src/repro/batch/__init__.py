@@ -16,15 +16,27 @@ eligibility rule and the full fallback matrix.
 
 from repro.batch.columns import ColumnBatch, ScanPlan, build_scan_plan, iter_column_batches
 from repro.batch.kernels import PredicateKernel, compile_predicates
+from repro.batch.multiscan import (
+    GroupPlan,
+    SharedPlanReport,
+    SharedScanSpec,
+    plan_shared_groups,
+    run_shared_group,
+)
 from repro.batch.spec import PREAGG_OPS, BatchStageSpec
 
 __all__ = [
     "BatchStageSpec",
     "ColumnBatch",
+    "GroupPlan",
     "PredicateKernel",
     "PREAGG_OPS",
     "ScanPlan",
+    "SharedPlanReport",
+    "SharedScanSpec",
     "build_scan_plan",
     "compile_predicates",
     "iter_column_batches",
+    "plan_shared_groups",
+    "run_shared_group",
 ]

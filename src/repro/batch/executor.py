@@ -66,6 +66,12 @@ def run_batch_map_task(
     conf: JobConf, spec: BatchStageSpec, tag: Optional[str], split: Any
 ) -> Optional[MapTaskResult]:
     """Serve one map task vectorized, or return ``None`` to fall back."""
+    from repro.batch.multiscan import SharedScanSpec, run_shared_map_task
+
+    if isinstance(spec, SharedScanSpec):
+        # Fused multi-query scan (one pass, many members); no record
+        # fallback exists for it, so the shared path raises on trouble.
+        return run_shared_map_task(conf, spec, tag, split)
     location = _split_location(split)
     if location is None:
         return None

@@ -589,6 +589,13 @@ class WorkerPool:
         #: reduce-side merges, across every job this pool executed
         self.shuffle_bytes_spilled = 0
         self.shuffle_bytes_merged = 0
+        #: shared-scan savings across every fused group this pool ran
+        #: (see :mod:`repro.batch.multiscan`): groups fused, member
+        #: scans not performed, and the stored bytes those scans would
+        #: have read
+        self.shared_scan_groups = 0
+        self.scans_saved = 0
+        self.shared_bytes_saved = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -657,7 +664,17 @@ class WorkerPool:
             "consecutive_breaks": self.consecutive_breaks,
             "shuffle_bytes_spilled": self.shuffle_bytes_spilled,
             "shuffle_bytes_merged": self.shuffle_bytes_merged,
+            "shared_scan_groups": self.shared_scan_groups,
+            "scans_saved": self.scans_saved,
+            "shared_bytes_saved": self.shared_bytes_saved,
         }
+
+    def record_shared_scan(self, group_size: int, bytes_saved: int) -> None:
+        """Account one completed fused scan group of ``group_size`` members."""
+        with self._lock:
+            self.shared_scan_groups += 1
+            self.scans_saved += group_size - 1
+            self.shared_bytes_saved += bytes_saved
 
     # -- job execution -------------------------------------------------------
 

@@ -223,6 +223,46 @@ class ExecutionEngine:
                 )
             return self._stage_pool
 
+    # -- shared scans ---------------------------------------------------------
+
+    def submit_shared(self, confs: Sequence[Any],
+                      num_workers: Optional[int] = None,
+                      splits_per_input: int = 10,
+                      policy: Optional[Any] = None) -> List[Any]:
+        """Run already-optimized jobs, fusing compatible scans.
+
+        Groups ``confs`` by input fingerprint (see
+        :func:`repro.batch.multiscan.plan_shared_groups`), executes each
+        approved group as one fused pass over the shared file on this
+        engine's worker pool, and runs everything else on the solo path
+        unchanged.  Returns one :class:`JobResult` per conf, in order;
+        every member's result is byte-identical to its solo run.
+
+        ``confs`` must be post-planning (inputs already substituted by
+        the optimizer): grouping keys on the *concrete* files jobs will
+        scan, so calling this with unoptimized confs would share the
+        wrong pass.
+        """
+        from repro.batch.multiscan import plan_shared_groups, run_shared_group
+        from repro.mapreduce.parallel import resolve_runner
+
+        report = plan_shared_groups(confs)
+        results: List[Any] = [None] * len(confs)
+        for group in report.groups:
+            grouped = [confs[m.index] for m in group.members]
+            fused = run_shared_group(
+                grouped, pool=self.pool,
+                num_workers=num_workers or 1,
+                splits_per_input=splits_per_input, policy=policy,
+            )
+            for member, result in zip(group.members, fused):
+                results[member.index] = result
+        for index, _reason in report.solo:
+            conf = confs[index]
+            runner = resolve_runner(num_workers, conf=conf, engine=self)
+            results[index] = runner.run(conf)
+        return results
+
     # -- lifecycle ------------------------------------------------------------
 
     def stats(self) -> Dict[str, Any]:

@@ -67,6 +67,19 @@ class JobMetrics:
     shuffle_bytes_spilled: int = 0
     shuffle_bytes_merged: int = 0
 
+    #: shared-scan accounting (see :mod:`repro.batch.multiscan`).  When a
+    #: job executed as a member of a fused multi-query scan group, the
+    #: group counts once (``shared_scan_groups``), every member after the
+    #: first records the full input pass it did *not* perform
+    #: (``scans_saved``) and the stored bytes that pass would have read
+    #: (``shared_bytes_saved``).  Scheduling-path observables like
+    #: ``shuffle_bytes_spilled``: solo runs of the same query report
+    #: zero, so differential suites exclude them and ``scaled()`` leaves
+    #: them untouched.
+    shared_scan_groups: int = 0
+    scans_saved: int = 0
+    shared_bytes_saved: int = 0
+
     #: wall-clock seconds of the local in-process run (not the simulation)
     wall_seconds: float = 0.0
 

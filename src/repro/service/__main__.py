@@ -37,6 +37,11 @@ def main(argv=None) -> int:
     parser.add_argument("--weight", action="append", default=[],
                         metavar="TENANT=N",
                         help="scheduling weight for a tenant (repeatable)")
+    parser.add_argument("--batch-window", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="shared-scan batching window; compatible "
+                             "queries arriving within it run as one scan "
+                             "(0 disables)")
     args = parser.parse_args(argv)
 
     weights = {}
@@ -54,6 +59,7 @@ def main(argv=None) -> int:
         max_queue_depth=args.max_queue_depth,
         weights=weights or None,
         result_cache_bytes=args.result_cache_bytes,
+        batch_window_seconds=args.batch_window,
         parallelism=args.parallelism,
     )
     server.start()

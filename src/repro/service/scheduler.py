@@ -59,7 +59,10 @@ class QueryJob:
 
     def __init__(self, job_id: str, tenant: str,
                  fn: Callable[[], Any], label: str = "",
-                 deadline_seconds: Optional[float] = None):
+                 deadline_seconds: Optional[float] = None,
+                 batch_key: Optional[Any] = None,
+                 group_fn: Optional[Callable[[List[Any]], List[Any]]] = None,
+                 batch_payload: Any = None):
         self.job_id = job_id
         self.tenant = tenant
         self.label = label
@@ -74,6 +77,14 @@ class QueryJob:
         #: dispatched; expired jobs fail with DeadlineExceededError
         #: instead of occupying an in-flight slot.
         self.deadline_seconds = deadline_seconds
+        #: batching identity: jobs with equal keys may execute together
+        #: in one dispatch (see FairScheduler batch_window_seconds)
+        self.batch_key = batch_key
+        self._group_fn = group_fn
+        self.batch_payload = batch_payload
+        #: dispatch is delayed until this monotonic instant so compatible
+        #: peers can accumulate (None = dispatch as soon as a slot frees)
+        self.hold_until: Optional[float] = None
         self._done = threading.Event()
 
     def deadline_expired(self, now: Optional[float] = None) -> bool:
@@ -130,16 +141,30 @@ class FairScheduler:
         :class:`AdmissionError`.
     :param weights: tenant name -> integer weight (default 1).  A tenant
         with weight 2 gets two dispatch turns per round-robin cycle.
+    :param batch_window_seconds: admission delay for *batchable* jobs
+        (those submitted with a ``batch_key``).  A batchable job is held
+        up to this long so compatible peers -- same ``batch_key``, any
+        tenant -- can accumulate; at dispatch every queued compatible
+        job joins it in **one** in-flight slot, executed by the leader's
+        ``group_fn`` (the server runs the group as a shared scan).  Each
+        joining member is still charged its own fairness turn (credit
+        and ``dispatched`` count), so a tenant cannot launder load
+        through a peer's batch.  ``0`` (default) disables batching:
+        batchable jobs dispatch like any other.
     """
 
     def __init__(self, max_in_flight: int = 2, max_queue_depth: int = 16,
-                 weights: Optional[Dict[str, int]] = None):
+                 weights: Optional[Dict[str, int]] = None,
+                 batch_window_seconds: float = 0.0):
         if max_in_flight < 1:
             raise ValueError("max_in_flight must be >= 1")
         if max_queue_depth < 1:
             raise ValueError("max_queue_depth must be >= 1")
+        if batch_window_seconds < 0:
+            raise ValueError("batch_window_seconds must be >= 0")
         self.max_in_flight = max_in_flight
         self.max_queue_depth = max_queue_depth
+        self.batch_window_seconds = batch_window_seconds
         self._weights = dict(weights or {})
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
@@ -160,13 +185,21 @@ class FairScheduler:
         self.failed = 0
         self.rejected = 0
         self.expired = 0
+        self.batch_groups = 0
+        self.batched = 0
         self._dispatched: Dict[str, int] = {}
+        #: earliest hold_until among jobs _next_job skipped this pump
+        self._hold_wakeup: Optional[float] = None
+        self._hold_timer: Optional[threading.Timer] = None
 
     # -- admission -----------------------------------------------------------
 
     def submit(self, tenant: str, fn: Callable[[], Any],
                label: str = "",
-               deadline_seconds: Optional[float] = None) -> QueryJob:
+               deadline_seconds: Optional[float] = None,
+               batch_key: Optional[Any] = None,
+               group_fn: Optional[Callable[[List[Any]], List[Any]]] = None,
+               batch_payload: Any = None) -> QueryJob:
         """Queue one job for ``tenant``; dispatch if a slot is free.
 
         ``deadline_seconds`` bounds how long the job may sit queued: a
@@ -176,9 +209,19 @@ class FairScheduler:
         Running jobs are not preempted -- their worker-level tasks are
         bounded by the engine's own task deadlines.
 
+        ``batch_key`` marks the job batchable: within the scheduler's
+        batching window, queued jobs with equal keys dispatch together
+        and the leader's ``group_fn`` receives every member's
+        ``batch_payload`` (in dispatch order) and must return one result
+        per member, aligned; an exception fails all members.  A job
+        dispatched alone -- window disabled, or no compatible peer --
+        runs its plain ``fn``, the unchanged solo path.
+
         :raises AdmissionError: queue full (retryable) or scheduler
             draining (not retryable).
         """
+        if batch_key is not None and group_fn is None:
+            raise ValueError("batch_key requires a group_fn")
         with self._lock:
             if self._draining:
                 self.rejected += 1
@@ -198,7 +241,13 @@ class FairScheduler:
                     f"({self.max_queue_depth} jobs); retry with backoff"
                 )
             job = QueryJob(f"q{next(self._seq)}", tenant, fn, label=label,
-                           deadline_seconds=deadline_seconds)
+                           deadline_seconds=deadline_seconds,
+                           batch_key=batch_key, group_fn=group_fn,
+                           batch_payload=batch_payload)
+            if batch_key is not None and self.batch_window_seconds > 0:
+                job.hold_until = (
+                    job.submitted_at + self.batch_window_seconds
+                )
             queue.append(job)
             self.submitted += 1
             self._pump()
@@ -225,42 +274,121 @@ class FairScheduler:
         A tenant with weight w is therefore dispatched at most w times
         per cycle while any other tenant is waiting.
         """
+        self._hold_wakeup = None
         while self._in_flight < self.max_in_flight:
             job = self._next_job()
             if job is None:
-                return
+                break
             if job.deadline_expired():
                 # Expired while queued: fail it without burning a slot.
-                job.error = DeadlineExceededError(
-                    f"job {job.job_id} waited "
-                    f"{time.monotonic() - job.submitted_at:.3f}s in queue, "
-                    f"past its {job.deadline_seconds}s deadline"
-                )
-                job.state = ERROR
-                job.finished_at = time.monotonic()
-                self.failed += 1
-                self.expired += 1
-                job._done.set()
-                self._idle.notify_all()
+                self._fail_expired(job)
                 continue
+            members = [job]
+            if job.batch_key is not None:
+                members.extend(self._collect_batch(job))
             self._in_flight += 1
-            job.state = RUNNING
-            job.started_at = time.monotonic()
-            self._dispatched[job.tenant] = (
-                self._dispatched.get(job.tenant, 0) + 1
-            )
-            self._pool.submit(self._run, job)
+            now = time.monotonic()
+            for member in members:
+                member.state = RUNNING
+                member.started_at = now
+                self._dispatched[member.tenant] = (
+                    self._dispatched.get(member.tenant, 0) + 1
+                )
+                if member is not job:
+                    # Joining a batch is still a fairness turn: the
+                    # member's tenant pays a credit exactly as if the
+                    # job had been picked round-robin.
+                    self._credits[member.tenant] = (
+                        self._credits.get(member.tenant, 0) - 1
+                    )
+            if len(members) > 1:
+                self.batch_groups += 1
+                self.batched += len(members)
+                self._pool.submit(self._run_group, members)
+            else:
+                self._pool.submit(self._run, job)
+        self._schedule_hold_wakeup()
+
+    def _fail_expired(self, job: QueryJob) -> None:
+        """Fail a queued job whose deadline passed (lock held)."""
+        job.error = DeadlineExceededError(
+            f"job {job.job_id} waited "
+            f"{time.monotonic() - job.submitted_at:.3f}s in queue, "
+            f"past its {job.deadline_seconds}s deadline"
+        )
+        job.state = ERROR
+        job.finished_at = time.monotonic()
+        self.failed += 1
+        self.expired += 1
+        job._done.set()
+        self._idle.notify_all()
+
+    def _collect_batch(self, leader: QueryJob) -> List[QueryJob]:
+        """Pull every queued job compatible with ``leader`` (lock held).
+
+        Compatible peers join regardless of how long they have been
+        queued -- they ride the leader's elapsed window.  Peers whose
+        deadline already passed fail through the expired path instead of
+        joining.
+        """
+        members: List[QueryJob] = []
+        for tenant in self._order:
+            queue = self._queues.get(tenant)
+            if not queue:
+                continue
+            kept: Deque[QueryJob] = deque()
+            for queued in queue:
+                if queued.batch_key != leader.batch_key:
+                    kept.append(queued)
+                elif queued.deadline_expired():
+                    self._fail_expired(queued)
+                else:
+                    members.append(queued)
+            self._queues[tenant] = kept
+        return members
+
+    def _schedule_hold_wakeup(self) -> None:
+        """Arrange a re-pump when the earliest held job's window ends."""
+        wakeup = self._hold_wakeup
+        if wakeup is None or self._draining:
+            return
+        self._hold_wakeup = None
+        if self._hold_timer is not None:
+            self._hold_timer.cancel()
+        delay = max(0.0, wakeup - time.monotonic()) + 0.001
+        timer = threading.Timer(delay, self._on_hold_wakeup)
+        timer.daemon = True
+        self._hold_timer = timer
+        timer.start()
+
+    def _on_hold_wakeup(self) -> None:
+        with self._lock:
+            self._hold_timer = None
+            self._pump()
 
     def _next_job(self) -> Optional[QueryJob]:
         """The next job under weighted round-robin (lock held)."""
         if not self._order:
             return None
+        now = time.monotonic()
         for attempt in range(2):
             n = len(self._order)
             for step in range(n):
                 idx = (self._rr_index + step) % n
                 tenant = self._order[idx]
-                if not self._queues.get(tenant):
+                queue = self._queues.get(tenant)
+                if not queue:
+                    continue
+                head = queue[0]
+                if (head.hold_until is not None and now < head.hold_until
+                        and not self._draining):
+                    # Held for its batching window (FIFO per tenant, so
+                    # the whole queue waits -- the window is short).
+                    # Remember the earliest release so _pump can arrange
+                    # a timer; a drain dispatches immediately instead.
+                    if (self._hold_wakeup is None
+                            or head.hold_until < self._hold_wakeup):
+                        self._hold_wakeup = head.hold_until
                     continue
                 if self._credits.get(tenant, 0) <= 0:
                     continue
@@ -298,6 +426,41 @@ class FairScheduler:
                 self._pump()
                 self._idle.notify_all()
 
+    def _run_group(self, members: List[QueryJob]) -> None:
+        """Execute one dispatched batch in a single in-flight slot."""
+        leader = members[0]
+        try:
+            results = leader._group_fn(
+                [member.batch_payload for member in members]
+            )
+            if len(results) != len(members):
+                raise ReproError(
+                    f"group_fn returned {len(results)} results for "
+                    f"{len(members)} batched jobs"
+                )
+            for member, result in zip(members, results):
+                member.result = result
+                member.state = DONE
+        except BaseException as exc:  # noqa: BLE001 -- surfaced via poll/fetch
+            for member in members:
+                if member.state == RUNNING:
+                    member.error = exc
+                    member.state = ERROR
+        finally:
+            now = time.monotonic()
+            for member in members:
+                member.finished_at = now
+                member._done.set()
+            with self._lock:
+                self._in_flight -= 1
+                for member in members:
+                    if member.state == DONE:
+                        self.completed += 1
+                    else:
+                        self.failed += 1
+                self._pump()
+                self._idle.notify_all()
+
     # -- introspection -------------------------------------------------------
 
     def queue_position(self, job: QueryJob) -> Optional[int]:
@@ -329,6 +492,9 @@ class FairScheduler:
                 "failed": self.failed,
                 "rejected": self.rejected,
                 "expired": self.expired,
+                "batch_window_seconds": self.batch_window_seconds,
+                "batch_groups": self.batch_groups,
+                "batched": self.batched,
                 "dispatched_by_tenant": dict(self._dispatched),
                 "weights": {
                     t: self._weight(t) for t in self._order
@@ -342,6 +508,9 @@ class FairScheduler:
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._idle:
             self._draining = True
+            # Held batchable jobs dispatch immediately under drain
+            # (_next_job ignores hold_until once draining).
+            self._pump()
             while self._in_flight or any(
                 self._queues.get(t) for t in self._order
             ):
@@ -356,4 +525,7 @@ class FairScheduler:
     def shutdown(self, wait: bool = True) -> None:
         with self._lock:
             self._draining = True
+            if self._hold_timer is not None:
+                self._hold_timer.cancel()
+                self._hold_timer = None
         self._pool.shutdown(wait=wait, cancel_futures=not wait)

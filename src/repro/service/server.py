@@ -35,13 +35,15 @@ durable job store.
 
 from __future__ import annotations
 
+import contextlib
+import os
 import socket
 import threading
 import time
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro import faults
-from repro.api.remote import apply_ops
+from repro.api.remote import apply_ops, read_paths
 from repro.engine.service import ExecutionEngine, get_engine
 from repro.exceptions import ReproError
 from repro.service.payload import serialize_rows
@@ -121,6 +123,13 @@ class QueryServer:
     :param default_deadline: default queue deadline (seconds) applied to
         submissions that don't carry their own ``deadline_seconds``
         option; ``None`` = no deadline.
+    :param batch_window_seconds: shared-scan batching window.  When > 0,
+        read-only submissions are held up to this long so compatible
+        queries -- same concrete input file fingerprint *and* same
+        tenant-catalog generation -- can accumulate and execute as one
+        fused scan (see :mod:`repro.batch.multiscan`); each member's
+        payload stays byte-identical to its solo run.  ``0`` (default)
+        disables batching.
     :param session_kwargs: forwarded to each tenant ``Session``
         (e.g. ``parallelism``, ``cost_based``).
     """
@@ -134,6 +143,7 @@ class QueryServer:
                  engine_retries: int = 2,
                  retry_backoff: float = 0.05,
                  default_deadline: Optional[float] = None,
+                 batch_window_seconds: float = 0.0,
                  **session_kwargs: Any):
         self.data_root = data_root
         self.engine_retries = max(0, engine_retries)
@@ -142,6 +152,9 @@ class QueryServer:
         #: transient job failures recovered by server-side retry
         self.jobs_retried = 0
         self._retry_lock = threading.Lock()
+        #: scans each tenant did not pay for thanks to shared-scan
+        #: groups it participated in (surfaced via the stats op)
+        self.scans_saved_by_tenant: Dict[str, int] = {}
         self._engine = engine if engine is not None else get_engine()
         session_kwargs.setdefault("engine", self._engine)
         self.tenants = TenantRegistry(data_root, **session_kwargs)
@@ -149,6 +162,7 @@ class QueryServer:
             max_in_flight=max_in_flight,
             max_queue_depth=max_queue_depth,
             weights=weights,
+            batch_window_seconds=batch_window_seconds,
         )
         if result_cache_bytes is None:
             self.results: Optional[ResultCache] = ResultCache()
@@ -378,13 +392,113 @@ class QueryServer:
                 results.put(cache_key, payload)
             return payload
 
+        batch_key = None
+        if self.scheduler.batch_window_seconds > 0 and not build_indexes:
+            batch_key = self._batch_key_of(state, ops)
         job = self.scheduler.submit(
             state.tenant, run_query, label=request.get("label", ""),
             deadline_seconds=self._deadline_of(options),
+            batch_key=batch_key,
+            group_fn=(
+                self._run_shared_batch if batch_key is not None else None
+            ),
+            batch_payload=(
+                (state, ops, run_options, cache_key)
+                if batch_key is not None else None
+            ),
         )
         self._register(_JobEntry(state.tenant, "query", job=job))
         return {"ok": True, "job_id": job.job_id, "state": job.state,
                 "cached": False}
+
+    def _batch_key_of(self, state: TenantState,
+                      ops: list) -> Optional[Tuple]:
+        """Shared-scan batching identity, or None if unbatchable.
+
+        Two submissions may batch only when they scan the same concrete
+        file bytes (absolute path + size + mtime) *and* their tenants'
+        catalogs are at the same generation -- a tenant whose catalog
+        just changed may plan the same query differently, so it is not
+        grouped with peers on the older generation.  Grouping is
+        re-validated after per-tenant planning anyway
+        (:func:`repro.batch.multiscan.plan_shared_groups`); this key
+        just decides who is worth holding in the window together.
+        """
+        paths = read_paths(ops)
+        if len(paths) != 1:
+            return None
+        path = os.path.abspath(paths[0])
+        try:
+            st = os.stat(path)
+        except OSError:
+            return None
+        if not os.path.isfile(path):
+            return None  # partitioned dataset dirs take their own path
+        return (path, st.st_size, st.st_mtime_ns,
+                state.catalog.generation)
+
+    def _run_shared_batch(self, payloads: List[Tuple]) -> List[bytes]:
+        """Execute one scheduler batch as a shared-scan group.
+
+        Every member lowers, plans and serializes inside its *own*
+        tenant Session (locks held for the whole group run, acquired in
+        sorted tenant order), so rows never cross tenant namespaces;
+        what is shared is only the fused pass over the common input
+        file.  Members whose per-tenant planning diverged fall back to
+        their solo path inside :func:`~repro.api.session.run_shared_plans`.
+        Returns one serialized payload per member, aligned.
+        """
+        from repro.api.session import run_shared_plans
+
+        states: List[TenantState] = []
+        seen = set()
+        for state, _ops, _opts, _key in payloads:
+            if id(state) not in seen:
+                seen.add(id(state))
+                states.append(state)
+        states.sort(key=lambda s: s.tenant)
+        attempt = 0
+        while True:
+            try:
+                with contextlib.ExitStack() as stack:
+                    for state in states:
+                        stack.enter_context(state.lock)
+                    items = []
+                    for state, ops, _opts, _key in payloads:
+                        dataset = apply_ops(state.session, ops)
+                        items.append(
+                            (state.session, state.session.lower(dataset))
+                        )
+                    options = payloads[0][2]
+                    results = run_shared_plans(
+                        items,
+                        parallelism=options.get("parallelism"),
+                        scheduler=options.get("scheduler"),
+                    )
+                break
+            except Exception as exc:  # noqa: BLE001 -- filtered below
+                if (attempt >= self.engine_retries
+                        or not is_transient_failure(exc)):
+                    raise
+                attempt += 1
+                with self._retry_lock:
+                    self.jobs_retried += 1
+                time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+        outputs: List[bytes] = []
+        for (state, _ops, _opts, cache_key), result in zip(payloads,
+                                                           results):
+            payload = serialize_rows(result.rows)
+            if self.results is not None and cache_key is not None:
+                self.results.put(cache_key, payload)
+            saved = result.stages[0].outcome.result.metrics.scans_saved
+            if saved:
+                with self._retry_lock:
+                    self.scans_saved_by_tenant[state.tenant] = (
+                        self.scans_saved_by_tenant.get(state.tenant, 0)
+                        + saved
+                    )
+            outputs.append(payload)
+        return outputs
 
     def _deadline_of(self, options: Dict[str, Any]) -> Optional[float]:
         deadline = options.get("deadline_seconds", self.default_deadline)
@@ -600,6 +714,12 @@ class QueryServer:
                 "engine_retries": self.engine_retries,
                 "jobs_retried": self.jobs_retried,
                 "default_deadline": self.default_deadline,
+            },
+            "shared_scans": {
+                "batch_window_seconds": (
+                    self.scheduler.batch_window_seconds
+                ),
+                "scans_saved_by_tenant": dict(self.scans_saved_by_tenant),
             },
         }
         try:

@@ -69,6 +69,11 @@ def metrics_without_wall(result):
     d.pop("wall_seconds")
     d.pop("shuffle_bytes_spilled")
     d.pop("shuffle_bytes_merged")
+    # Shared-scan savings are likewise assigned by the scheduling path
+    # (repro.batch.multiscan), never by task execution.
+    d.pop("shared_scan_groups")
+    d.pop("scans_saved")
+    d.pop("shared_bytes_saved")
     return d
 
 

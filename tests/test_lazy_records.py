@@ -264,7 +264,8 @@ class TestProjectedFastPathMetrics:
         # wall clocks and physical spill bytes are scheduling-path
         # observables, excluded from the cross-runner identity contract
         for skip in ("wall_seconds", "shuffle_bytes_spilled",
-                     "shuffle_bytes_merged"):
+                     "shuffle_bytes_merged", "shared_scan_groups",
+                     "scans_saved", "shared_bytes_saved"):
             seq_m.pop(skip), par_m.pop(skip)
         assert par_m == seq_m
 

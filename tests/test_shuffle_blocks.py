@@ -346,7 +346,8 @@ def typed_conf(n=500, **overrides):
 def strip_scheduling(result):
     d = result.metrics.to_dict()
     for name in ("wall_seconds", "shuffle_bytes_spilled",
-                 "shuffle_bytes_merged"):
+                 "shuffle_bytes_merged", "shared_scan_groups",
+                 "scans_saved", "shared_bytes_saved"):
         d.pop(name)
     return d
 
